@@ -1,0 +1,240 @@
+(* Command-line interface to a Spitz database file.
+
+     spitz init db.spitz
+     spitz put db.spitz alice engineer
+     spitz get db.spitz alice [--verify]
+     spitz range db.spitz a z [--verify]
+     spitz history db.spitz alice
+     spitz sql db.spitz "CREATE TABLE ..." "INSERT ..." "SELECT ..."
+     spitz digest db.spitz
+     spitz audit db.spitz
+     spitz compact db.spitz
+     spitz stats db.spitz
+
+   The file holds the content-addressed object store plus the journal's
+   block addresses; every load re-validates the hash chain. *)
+
+open Cmdliner
+
+let load_db path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "error: %s does not exist (run 'spitz init %s' first)\n" path path;
+    exit 1
+  end;
+  Spitz.Db.load path
+
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DB" ~doc:"Database file.")
+
+let verify_flag =
+  Arg.(value & flag & info [ "verify" ] ~doc:"Fetch and check an integrity proof.")
+
+(* --- init --- *)
+
+let init_cmd =
+  let run path =
+    if Sys.file_exists path then begin
+      Printf.eprintf "error: %s already exists\n" path;
+      exit 1
+    end;
+    let db = Spitz.Db.open_db () in
+    Spitz.Db.save db path;
+    Printf.printf "created empty database %s\n" path
+  in
+  Cmd.v (Cmd.info "init" ~doc:"Create an empty database file.")
+    Term.(const run $ file_arg)
+
+(* --- put --- *)
+
+let put_cmd =
+  let key = Arg.(required & pos 1 (some string) None & info [] ~docv:"KEY" ~doc:"Key.") in
+  let value = Arg.(required & pos 2 (some string) None & info [] ~docv:"VALUE" ~doc:"Value.") in
+  let run path key value =
+    let db = load_db path in
+    let height = Spitz.Db.put db key value in
+    Spitz.Db.save db path;
+    Printf.printf "committed block %d\n" height
+  in
+  Cmd.v (Cmd.info "put" ~doc:"Write a key (appends a new version).")
+    Term.(const run $ file_arg $ key $ value)
+
+(* --- get --- *)
+
+let get_cmd =
+  let key = Arg.(required & pos 1 (some string) None & info [] ~docv:"KEY" ~doc:"Key.") in
+  let run path key verify =
+    let db = load_db path in
+    if verify then begin
+      let digest = Spitz.Db.digest db in
+      let value, proof = Spitz.Db.get_verified db key in
+      let ok =
+        match proof with
+        | Some proof -> Spitz.Db.verify_read ~digest ~key ~value proof
+        | None -> value = None
+      in
+      (match value with
+       | Some v -> Printf.printf "%s\n" v
+       | None -> Printf.printf "(not found)\n");
+      Printf.printf "proof: %s\n" (if ok then "VERIFIED" else "FAILED");
+      if not ok then exit 2
+    end
+    else begin
+      match Spitz.Db.get db key with
+      | Some v -> print_endline v
+      | None ->
+        Printf.eprintf "(not found)\n";
+        exit 1
+    end
+  in
+  Cmd.v (Cmd.info "get" ~doc:"Read the latest version of a key.")
+    Term.(const run $ file_arg $ key $ verify_flag)
+
+(* --- range --- *)
+
+let range_cmd =
+  let lo = Arg.(required & pos 1 (some string) None & info [] ~docv:"LO" ~doc:"Lower bound.") in
+  let hi = Arg.(required & pos 2 (some string) None & info [] ~docv:"HI" ~doc:"Upper bound.") in
+  let run path lo hi verify =
+    let db = load_db path in
+    if verify then begin
+      let digest = Spitz.Db.digest db in
+      let entries, proof = Spitz.Db.range_verified db ~lo ~hi in
+      let ok =
+        match proof with
+        | Some proof -> Spitz.Db.verify_range ~digest ~lo ~hi ~entries proof
+        | None -> entries = []
+      in
+      List.iter (fun (k, v) -> Printf.printf "%s\t%s\n" k v) entries;
+      Printf.printf "proof over %d rows: %s\n" (List.length entries)
+        (if ok then "VERIFIED" else "FAILED");
+      if not ok then exit 2
+    end
+    else List.iter (fun (k, v) -> Printf.printf "%s\t%s\n" k v) (Spitz.Db.range db ~lo ~hi)
+  in
+  Cmd.v (Cmd.info "range" ~doc:"Scan keys in [LO, HI].")
+    Term.(const run $ file_arg $ lo $ hi $ verify_flag)
+
+(* --- history --- *)
+
+let history_cmd =
+  let key = Arg.(required & pos 1 (some string) None & info [] ~docv:"KEY" ~doc:"Key.") in
+  let run path key =
+    let db = load_db path in
+    match Spitz.Db.history db key with
+    | [] ->
+      Printf.eprintf "(no versions)\n";
+      exit 1
+    | versions ->
+      List.iter (fun (height, v) -> Printf.printf "block %-6d %s\n" height v) versions
+  in
+  Cmd.v (Cmd.info "history" ~doc:"All committed versions of a key.")
+    Term.(const run $ file_arg $ key)
+
+(* --- sql --- *)
+
+let sql_cmd =
+  let stmts =
+    Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"SQL" ~doc:"Statements to run.")
+  in
+  let run path stmts =
+    let db = load_db path in
+    let env = Spitz.Sql.env_of_db db in
+    List.iter
+      (fun stmt ->
+         match Spitz.Sql.exec env stmt with
+         | Spitz.Sql.Done msg -> print_endline msg
+         | Spitz.Sql.Rows (header, rows) ->
+           print_endline (String.concat "\t" header);
+           List.iter
+             (fun row ->
+                print_endline
+                  (String.concat "\t" (List.map (fun (_, v) -> Spitz.Json.to_string v) row)))
+             rows
+         | exception Spitz.Sql.Sql_error msg ->
+           Printf.eprintf "sql error: %s\n" msg;
+           exit 1
+         | exception Spitz.Schema.Schema_error msg ->
+           Printf.eprintf "schema error: %s\n" msg;
+           exit 1)
+      stmts;
+    Spitz.Db.save db path
+  in
+  Cmd.v (Cmd.info "sql" ~doc:"Run SQL statements against the database.")
+    Term.(const run $ file_arg $ stmts)
+
+(* --- digest --- *)
+
+let digest_cmd =
+  let run path =
+    let db = load_db path in
+    let d = Spitz.Db.digest db in
+    Printf.printf "root  %s\nsize  %d blocks\n"
+      (Spitz_crypto.Hash.to_hex d.Spitz_ledger.Journal.root)
+      d.Spitz_ledger.Journal.size
+  in
+  Cmd.v
+    (Cmd.info "digest" ~doc:"Print the database digest (what a verifying client pins).")
+    Term.(const run $ file_arg)
+
+(* --- audit --- *)
+
+let audit_cmd =
+  let run path =
+    let db = load_db path in
+    if Spitz.Db.audit db then print_endline "journal chain: INTACT"
+    else begin
+      print_endline "journal chain: BROKEN";
+      exit 2
+    end
+  in
+  Cmd.v (Cmd.info "audit" ~doc:"Re-walk every hash link of the journal.")
+    Term.(const run $ file_arg)
+
+(* --- compact --- *)
+
+let compact_cmd =
+  let keep =
+    Arg.(value & opt int 16 & info [ "keep-instances" ]
+           ~doc:"Ledger index versions to retain for historical verified reads.")
+  in
+  let run path keep =
+    let db = load_db path in
+    let deleted, reclaimed = Spitz.Db.compact ~keep_instances:keep db in
+    Spitz.Db.save db path;
+    Printf.printf "compacted: %d objects removed, %d bytes reclaimed\n" deleted reclaimed
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Sweep ledger index versions older than the retention horizon.")
+    Term.(const run $ file_arg $ keep)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run path =
+    let db = load_db path in
+    let stats = Spitz_storage.Object_store.stats (Spitz.Db.store db) in
+    let d = Spitz.Db.digest db in
+    Printf.printf "blocks           %d\n" d.Spitz_ledger.Journal.size;
+    Printf.printf "cells            %d\n" (Spitz.Db.cell_count db);
+    Printf.printf "objects          %d\n"
+      (Spitz_storage.Object_store.object_count (Spitz.Db.store db));
+    Printf.printf "physical bytes   %d\n" stats.Spitz_storage.Object_store.physical_bytes;
+    Printf.printf "logical bytes    %d\n" stats.Spitz_storage.Object_store.logical_bytes;
+    if stats.Spitz_storage.Object_store.physical_bytes > 0 then
+      Printf.printf "dedup ratio      %.2f\n"
+        (float_of_int stats.Spitz_storage.Object_store.logical_bytes
+         /. float_of_int stats.Spitz_storage.Object_store.physical_bytes)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Storage statistics.") Term.(const run $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "spitz" ~version:"1.0.0"
+      ~doc:"A verifiable database: immutable, tamper-evident, with integrity proofs."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ init_cmd; put_cmd; get_cmd; range_cmd; history_cmd; sql_cmd; digest_cmd;
+            audit_cmd; compact_cmd; stats_cmd ]))

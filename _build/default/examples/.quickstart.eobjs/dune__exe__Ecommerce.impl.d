@@ -1,0 +1,1 @@
+examples/ecommerce.ml: List Mvcc Option Printf Scheduler Spitz Spitz_txn String Timestamp

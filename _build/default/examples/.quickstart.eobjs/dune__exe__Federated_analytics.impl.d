@@ -1,0 +1,1 @@
+examples/federated_analytics.ml: Db Federated List Printf Spitz Spitz_workload

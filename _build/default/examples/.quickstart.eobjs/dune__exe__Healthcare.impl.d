@@ -1,0 +1,1 @@
+examples/healthcare.ml: Auditor Db Json List Printf Provenance Schema Spitz Sql String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename List Option Printf Spitz Spitz_crypto Spitz_ledger String Sys

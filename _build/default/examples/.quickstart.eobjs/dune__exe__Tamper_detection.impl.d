@@ -1,0 +1,1 @@
+examples/tamper_detection.ml: List Option Printf Spitz Spitz_ledger

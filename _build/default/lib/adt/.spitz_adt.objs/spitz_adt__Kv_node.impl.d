@@ -1,0 +1,1 @@
+lib/adt/kv_node.ml: Hash List Object_store Printf Siri Spitz_crypto Spitz_storage String Wire

@@ -1,0 +1,1 @@
+lib/adt/mbt.ml: Char Hash List Object_store Printf Siri Spitz_crypto Spitz_storage String Wire

@@ -1,0 +1,1 @@
+lib/adt/mbt.mli: Siri Spitz_storage

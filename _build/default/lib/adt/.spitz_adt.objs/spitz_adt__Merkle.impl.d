@@ -1,0 +1,1 @@
+lib/adt/merkle.ml: Array Hash List Spitz_crypto

@@ -1,0 +1,1 @@
+lib/adt/merkle.mli: Hash Spitz_crypto

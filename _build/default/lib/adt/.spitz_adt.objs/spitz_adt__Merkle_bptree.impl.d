@@ -1,0 +1,1 @@
+lib/adt/merkle_bptree.ml: Hash Kv_node List Object_store Spitz_crypto Spitz_storage String

@@ -1,0 +1,1 @@
+lib/adt/merkle_bptree.mli: Siri

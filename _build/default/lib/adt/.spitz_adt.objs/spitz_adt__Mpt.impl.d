@@ -1,0 +1,1 @@
+lib/adt/mpt.ml: Array Char Hash List Object_store Option Printf Siri Spitz_crypto Spitz_storage String Wire

@@ -1,0 +1,1 @@
+lib/adt/mpt.mli: Siri

@@ -1,0 +1,1 @@
+lib/adt/pos_tree.ml: Array Char Hash Kv_node List Object_store Option Spitz_crypto Spitz_storage String Wire

@@ -1,0 +1,1 @@
+lib/adt/pos_tree.mli: Siri Spitz_storage

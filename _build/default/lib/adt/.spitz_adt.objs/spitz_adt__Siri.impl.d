@@ -1,0 +1,1 @@
+lib/adt/siri.ml: Hash List Spitz_crypto Spitz_storage String

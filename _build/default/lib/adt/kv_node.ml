@@ -1,0 +1,193 @@
+open Spitz_crypto
+open Spitz_storage
+
+(* Node layout, codec, navigation, and proof verification shared by the
+   key-ordered SIRI instances (Merkle B+-tree and POS-tree): a leaf holds
+   sorted (key, value) entries; an internal node holds (separator, child)
+   links where child i covers keys in [sep_i, sep_{i+1}). *)
+
+type node =
+  | Leaf of (string * string) list
+  | Internal of (string * Hash.t) list
+
+let encode node =
+  let buf = Wire.writer () in
+  (match node with
+   | Leaf entries ->
+     Wire.write_byte buf 'L';
+     Wire.write_list buf
+       (fun buf (k, v) -> Wire.write_string buf k; Wire.write_string buf v)
+       entries
+   | Internal children ->
+     Wire.write_byte buf 'I';
+     Wire.write_list buf
+       (fun buf (k, h) -> Wire.write_string buf k; Wire.write_hash buf h)
+       children);
+  Wire.contents buf
+
+let decode data =
+  let r = Wire.reader data in
+  match Wire.read_byte r with
+  | 'L' ->
+    Leaf (Wire.read_list r (fun r ->
+        let k = Wire.read_string r in
+        let v = Wire.read_string r in
+        (k, v)))
+  | 'I' ->
+    Internal (Wire.read_list r (fun r ->
+        let k = Wire.read_string r in
+        let h = Wire.read_hash r in
+        (k, h)))
+  | c -> raise (Wire.Malformed (Printf.sprintf "Kv_node: bad node tag %C" c))
+
+let load store h = decode (Object_store.get_exn store h)
+let save store node = Object_store.put store (encode node)
+
+(* Index of the child to follow for [key]: the last separator <= key, or the
+   first child when the key sorts before everything. *)
+let child_index children key =
+  let rec go i best = function
+    | [] -> best
+    | (sep, _) :: rest -> if String.compare sep key <= 0 then go (i + 1) i rest else best
+  in
+  go 0 0 children
+
+let min_key = function
+  | Leaf ((k, _) :: _) -> k
+  | Internal ((k, _) :: _) -> k
+  | Leaf [] | Internal [] -> invalid_arg "Kv_node.min_key: empty node"
+
+let get store root key =
+  match root with
+  | None -> None
+  | Some h ->
+    let rec go h =
+      match load store h with
+      | Leaf entries -> List.assoc_opt key entries
+      | Internal children ->
+        let _, child = List.nth children (child_index children key) in
+        go child
+    in
+    go h
+
+let get_with_proof store root key =
+  match root with
+  | None -> (None, { Siri.nodes = [] })
+  | Some h ->
+    let nodes = ref [] in
+    let rec go h =
+      let bytes = Object_store.get_exn store h in
+      nodes := bytes :: !nodes;
+      match decode bytes with
+      | Leaf entries -> List.assoc_opt key entries
+      | Internal children ->
+        let _, child = List.nth children (child_index children key) in
+        go child
+    in
+    let value = go h in
+    (value, { Siri.nodes = List.rev !nodes })
+
+(* Child i covers [sep_i, sep_{i+1}); visit children overlapping [lo, hi]. *)
+let children_overlapping children ~lo ~hi =
+  let n = List.length children in
+  List.filteri
+    (fun i (sep, _) ->
+       let next = if i + 1 < n then Some (fst (List.nth children (i + 1))) else None in
+       let starts_before_hi = String.compare sep hi <= 0 in
+       let ends_after_lo = match next with None -> true | Some nk -> String.compare nk lo > 0 in
+       starts_before_hi && ends_after_lo)
+    children
+
+let range_visit ~load_bytes root ~lo ~hi ~record =
+  let acc = ref [] in
+  let rec go h =
+    match load_bytes h with
+    | None -> raise Not_found
+    | Some bytes ->
+      record bytes;
+      (match decode bytes with
+       | Leaf entries ->
+         List.iter
+           (fun (k, v) ->
+              if String.compare lo k <= 0 && String.compare k hi <= 0 then acc := (k, v) :: !acc)
+           entries
+       | Internal children ->
+         List.iter (fun (_, ch) -> go ch) (children_overlapping children ~lo ~hi))
+  in
+  (match root with None -> () | Some h -> go h);
+  List.rev !acc
+
+let range store root ~lo ~hi =
+  range_visit ~load_bytes:(Object_store.get store) root ~lo ~hi ~record:(fun _ -> ())
+
+let range_with_proof store root ~lo ~hi =
+  let nodes = ref [] in
+  let entries =
+    range_visit ~load_bytes:(Object_store.get store) root ~lo ~hi
+      ~record:(fun bytes -> nodes := bytes :: !nodes)
+  in
+  (entries, { Siri.nodes = List.rev !nodes })
+
+let iter store root f =
+  match root with
+  | None -> ()
+  | Some h ->
+    let rec go h =
+      match load store h with
+      | Leaf entries -> List.iter (fun (k, v) -> f k v) entries
+      | Internal children -> List.iter (fun (_, ch) -> go ch) children
+    in
+    go h
+
+(* --- Client-side verification: no store access, only proof bytes. --- *)
+
+let verify_get ~digest ~key ~value proof =
+  if Hash.is_null digest then value = None && proof.Siri.nodes = []
+  else begin
+    let index = Siri.proof_index proof in
+    let rec go h =
+      match Hash.Map.find_opt h index with
+      | None -> None
+      | Some bytes ->
+        (match try decode bytes with Wire.Malformed _ -> raise Not_found with
+         | Leaf entries -> Some (List.assoc_opt key entries)
+         | Internal [] -> None
+         | Internal children ->
+           let _, child = List.nth children (child_index children key) in
+           go child)
+    in
+    match go digest with
+    | Some found -> found = value
+    | None | exception Not_found -> false
+  end
+
+let extract_range ~digest ~lo ~hi proof =
+  if Hash.is_null digest then (if proof.Siri.nodes = [] then Some [] else None)
+  else begin
+    let index = Siri.proof_index proof in
+    match
+      range_visit
+        ~load_bytes:(fun h -> Hash.Map.find_opt h index)
+        (Some digest) ~lo ~hi ~record:(fun _ -> ())
+    with
+    | found -> Some found
+    | exception (Not_found | Wire.Malformed _) -> None
+  end
+
+let verify_range ~digest ~lo ~hi ~entries proof =
+  extract_range ~digest ~lo ~hi proof = Some entries
+
+(* Visit every node reachable from a root (compaction mark phase). Shared
+   subtrees are visited once. *)
+let iter_nodes store root visit =
+  let seen = Hash.Table.create 256 in
+  let rec go h =
+    if not (Hash.is_null h) && not (Hash.Table.mem seen h) then begin
+      Hash.Table.replace seen h ();
+      visit h;
+      match load store h with
+      | Leaf _ -> ()
+      | Internal children -> List.iter (fun (_, ch) -> go ch) children
+    end
+  in
+  go root

@@ -1,0 +1,15 @@
+(** Merkle Bucket Tree (Hyperledger-style): a fixed array of hash-addressed
+    buckets under a binary Merkle tree.
+
+    Point operations touch one bucket plus a logarithmic path; range queries
+    must scan (and range proofs must ship) the whole tree because bucket
+    placement follows the key hash, not key order — MBT's known weakness,
+    reproduced honestly for the SIRI ablation. *)
+
+include Siri.S
+
+val default_buckets : int
+
+val create_sized : buckets:int -> Spitz_storage.Object_store.t -> t
+(** [buckets] must be a power of two >= 2. {!create} uses
+    {!default_buckets}. *)

@@ -1,0 +1,54 @@
+(** Append-only binary Merkle tree in the RFC 6962 shape, with inclusion and
+    consistency (append-only) proofs.
+
+    This is the commitment structure of the ledger journal and of the
+    baseline system's proof path. Verification functions recompute roots from
+    the proof alone — a client needs no access to the tree. *)
+
+open Spitz_crypto
+
+type t
+
+val create : unit -> t
+
+val of_leaves : string list -> t
+(** Tree over the given leaf data, in order. *)
+
+val size : t -> int
+
+val add_leaf : t -> string -> int
+(** Append leaf data; returns its index. *)
+
+val add_leaf_hash : t -> Hash.t -> int
+(** Append an already-computed leaf hash (must be domain-separated, i.e.
+    produced by {!Hash.leaf}). *)
+
+val root : t -> Hash.t
+(** Current root digest. The empty tree hashes to {!empty_root}. *)
+
+val empty_root : Hash.t
+(** [SHA-256("")], the RFC 6962 hash of an empty tree. *)
+
+val leaf_hash : t -> int -> Hash.t
+
+val range_hash : t -> int -> int -> Hash.t
+(** [range_hash t lo hi] is the Merkle hash of the subtree covering leaves
+    [lo..hi-1]. [range_hash t 0 (size t) = root t]. *)
+
+type inclusion_proof = Hash.t list
+(** Sibling hashes along the audit path, leaf level first. *)
+
+val prove_inclusion : t -> int -> inclusion_proof
+
+val verify_inclusion :
+  root:Hash.t -> size:int -> index:int -> leaf:Hash.t -> inclusion_proof -> bool
+(** [leaf] is the domain-separated leaf hash being proven present. *)
+
+type consistency_proof = Hash.t list
+
+val prove_consistency : t -> old_size:int -> consistency_proof
+(** Proof that the current tree extends the tree that had [old_size] leaves. *)
+
+val verify_consistency :
+  old_root:Hash.t -> old_size:int -> new_root:Hash.t -> new_size:int ->
+  consistency_proof -> bool

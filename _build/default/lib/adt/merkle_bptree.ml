@@ -1,0 +1,109 @@
+open Spitz_crypto
+open Spitz_storage
+open Kv_node
+
+(* Merkle-augmented B+-tree: a persistent B+-tree whose nodes are
+   content-addressed, so (a) the root hash commits to the whole contents and
+   (b) successive versions share every untouched node. Proofs are the
+   serialized nodes the query traversal itself visits, which is why Spitz
+   gets proofs "for free" during query processing (paper section 6.2.1). *)
+
+let name = "merkle-bptree"
+
+let max_entries = 16 (* per node; split when exceeded *)
+
+type t = {
+  store : Object_store.t;
+  root : Hash.t option;
+  count : int;
+}
+
+let create store = { store; root = None; count = 0 }
+
+let at_root store root ~count =
+  if Hash.is_null root then { store; root = None; count = 0 }
+  else { store; root = Some root; count }
+let store t = t.store
+let root_digest t = match t.root with Some h -> h | None -> Hash.null
+let cardinal t = t.count
+
+(* Insert into the entries of a leaf, replacing an equal key. Returns the new
+   list and whether the cardinality grew. *)
+let rec insert_entry key value = function
+  | [] -> ([ (key, value) ], true)
+  | (k, v) :: rest as all ->
+    let c = String.compare key k in
+    if c < 0 then ((key, value) :: all, true)
+    else if c = 0 then ((key, value) :: rest, false)
+    else begin
+      let rest', grew = insert_entry key value rest in
+      ((k, v) :: rest', grew)
+    end
+
+let split_list l =
+  let n = List.length l in
+  let rec take i = function
+    | [] -> ([], [])
+    | x :: rest ->
+      if i = 0 then ([], x :: rest)
+      else begin
+        let left, right = take (i - 1) rest in
+        (x :: left, right)
+      end
+  in
+  take (n / 2) l
+
+(* Returns one or two (min_key, hash) links replacing the modified child. *)
+let rec insert_at t h key value =
+  match load t.store h with
+  | Leaf entries ->
+    let entries', grew = insert_entry key value entries in
+    if List.length entries' <= max_entries then
+      let node = Leaf entries' in
+      ([ (min_key node, save t.store node) ], grew)
+    else begin
+      let left, right = split_list entries' in
+      let nl = Leaf left and nr = Leaf right in
+      ([ (min_key nl, save t.store nl); (min_key nr, save t.store nr) ], grew)
+    end
+  | Internal children ->
+    let idx = child_index children key in
+    let _, child_hash = List.nth children idx in
+    let replacements, grew = insert_at t child_hash key value in
+    let children' =
+      List.concat
+        (List.mapi (fun i (k, ch) -> if i = idx then replacements else [ (k, ch) ]) children)
+    in
+    if List.length children' <= max_entries then
+      let node = Internal children' in
+      ([ (min_key node, save t.store node) ], grew)
+    else begin
+      let left, right = split_list children' in
+      let nl = Internal left and nr = Internal right in
+      ([ (min_key nl, save t.store nl); (min_key nr, save t.store nr) ], grew)
+    end
+
+let insert t key value =
+  match t.root with
+  | None ->
+    let node = Leaf [ (key, value) ] in
+    { t with root = Some (save t.store node); count = 1 }
+  | Some h ->
+    let links, grew = insert_at t h key value in
+    let root =
+      match links with
+      | [ (_, h') ] -> h'
+      | links -> save t.store (Internal links)
+    in
+    { t with root = Some root; count = (if grew then t.count + 1 else t.count) }
+
+let get t key = Kv_node.get t.store t.root key
+let get_with_proof t key = Kv_node.get_with_proof t.store t.root key
+let range t ~lo ~hi = Kv_node.range t.store t.root ~lo ~hi
+let range_with_proof t ~lo ~hi = Kv_node.range_with_proof t.store t.root ~lo ~hi
+let iter t f = Kv_node.iter t.store t.root f
+
+let verify_get = Kv_node.verify_get
+let verify_range = Kv_node.verify_range
+let extract_range = Kv_node.extract_range
+let iter_nodes = Kv_node.iter_nodes

@@ -1,0 +1,7 @@
+(** Merkle-augmented B+-tree — the unified Spitz ledger index.
+
+    A persistent B+-tree whose nodes are content-addressed: the root digest
+    commits to the whole contents, versions share every untouched node, and a
+    query's proof is exactly the nodes its own traversal visits. *)
+
+include Siri.S

@@ -1,0 +1,10 @@
+(** Merkle Patricia Trie (Ethereum-style, on 4-bit nibbles) — one of the
+    SIRI instances analysed in the paper's index study [59]. *)
+
+include Siri.S
+
+val to_nibbles : string -> string
+(** Key bytes as a string of 4-bit nibbles (each char 0..15). Exposed for
+    tests. *)
+
+val of_nibbles : string -> string

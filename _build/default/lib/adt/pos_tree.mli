@@ -1,0 +1,17 @@
+(** Pattern-Oriented-Split Tree (POS-tree), the SIRI instance introduced by
+    ForkBase and recommended by the paper's index study [59].
+
+    Node boundaries are content-defined (a pattern in each element's
+    fingerprint closes the node), so the structure depends only on the set of
+    entries — never on operation order — and versions share every node
+    outside an edit's neighbourhood. Updates repair locally: they re-chunk
+    from the affected node until the new boundaries realign with old ones. *)
+
+include Siri.S
+
+val of_sorted_entries : Spitz_storage.Object_store.t -> (string * string) list -> t
+(** Bulk build from strictly-sorted distinct entries. Produces bit-identical
+    structure to the same entries inserted one at a time, in any order. *)
+
+val remove : t -> string -> t
+(** Persistent delete; absent keys are a no-op. *)

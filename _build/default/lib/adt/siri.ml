@@ -1,0 +1,74 @@
+open Spitz_crypto
+
+(* Structurally Invariant and Reusable Indexes (SIRI): the family of
+   authenticated indexes the Spitz ledger draws from. Every implementation is
+   persistent — nodes live in a content-addressed store, so index versions
+   share all untouched nodes — and self-verifying: proofs carry the serialized
+   node bytes, and the verifier recomputes every content address from the root
+   digest down without any access to the store. *)
+
+type proof = { nodes : string list }
+
+let proof_size p = List.fold_left (fun acc n -> acc + String.length n) 0 p.nodes
+
+(* Proof nodes keyed by their content address, as the verifier sees them. *)
+let proof_index p =
+  List.fold_left (fun m n -> Hash.Map.add (Hash.of_string n) n m) Hash.Map.empty p.nodes
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create : Spitz_storage.Object_store.t -> t
+  (** Empty index backed by the given node store. *)
+
+  val at_root : Spitz_storage.Object_store.t -> Hash.t -> count:int -> t
+  (** Reopen the index version committed to by a root digest whose nodes are
+      in the store ([Hash.null] = empty). [count] restores {!cardinal};
+      persistence layers record it alongside the root. *)
+
+  val store : t -> Spitz_storage.Object_store.t
+
+  val root_digest : t -> Hash.t
+  (** Digest committing to the entire contents. [Hash.null] when empty. *)
+
+  val cardinal : t -> int
+
+  val insert : t -> string -> string -> t
+  (** Persistent insert (or overwrite): the previous version remains valid and
+      shares all untouched nodes with the new one. *)
+
+  val get : t -> string -> string option
+
+  val get_with_proof : t -> string -> string option * proof
+  (** Result plus a proof of presence (or absence) under [root_digest]. *)
+
+  val range : t -> lo:string -> hi:string -> (string * string) list
+  (** Entries with [lo <= key <= hi], in key order. *)
+
+  val range_with_proof : t -> lo:string -> hi:string -> (string * string) list * proof
+
+  val iter : t -> (string -> string -> unit) -> unit
+
+  val verify_get : digest:Hash.t -> key:string -> value:string option -> proof -> bool
+  (** Client-side check that [value] is exactly what the index committed to by
+      [digest] holds for [key] ([None] = proven absent). *)
+
+  val verify_range :
+    digest:Hash.t -> lo:string -> hi:string -> entries:(string * string) list ->
+    proof -> bool
+  (** Client-side check that [entries] is exactly the committed contents of
+      [lo..hi] — sound against both additions and omissions. *)
+
+  val extract_range :
+    digest:Hash.t -> lo:string -> hi:string -> proof -> (string * string) list option
+  (** Client-side recomputation of the committed contents of [lo..hi] from the
+      proof alone; [None] if the proof does not check out against [digest].
+      [verify_range] is [extract_range = Some entries]. *)
+
+  val iter_nodes : Spitz_storage.Object_store.t -> Hash.t -> (Hash.t -> unit) -> unit
+  (** Visit the content address of every node reachable from a root
+      ([Hash.null] visits nothing). Used by mark-and-sweep compaction to
+      compute the live set of retained index versions. *)
+end

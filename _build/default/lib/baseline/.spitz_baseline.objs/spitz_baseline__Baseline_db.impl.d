@@ -1,0 +1,1 @@
+lib/baseline/baseline_db.ml: Block Hash Hashtbl Journal List Object_store Option Printf Spitz_adt Spitz_crypto Spitz_index Spitz_ledger Spitz_storage

@@ -1,0 +1,1 @@
+lib/baseline/baseline_db.mli: Block Hash Journal Spitz_adt Spitz_crypto Spitz_ledger Spitz_storage

@@ -1,0 +1,1 @@
+lib/core/auditor.ml: Journal Ledger Spitz_ledger

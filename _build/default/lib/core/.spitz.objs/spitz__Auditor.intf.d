@@ -1,0 +1,1 @@
+lib/core/auditor.mli: Journal Ledger Spitz_adt Spitz_ledger Spitz_storage

@@ -1,0 +1,1 @@
+lib/core/cell_store.ml: Hash List Object_store Option Spitz_crypto Spitz_index Spitz_storage String Universal_key

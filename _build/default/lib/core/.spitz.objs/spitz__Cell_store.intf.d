@@ -1,0 +1,1 @@
+lib/core/cell_store.mli: Object_store Spitz_crypto Spitz_storage Universal_key

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Db Hashtbl Int List Lock_manager Printf Processor Queue Spitz_txn Timestamp

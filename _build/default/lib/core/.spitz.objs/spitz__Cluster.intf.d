@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Db Processor Spitz_ledger

@@ -1,0 +1,1 @@
+lib/core/db.ml: Auditor Cell_store Fun Ledger List Object_store Spitz_crypto Spitz_index Spitz_ledger Spitz_storage String Universal_key Verifier Wire

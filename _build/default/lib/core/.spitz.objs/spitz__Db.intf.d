@@ -1,0 +1,1 @@
+lib/core/db.mli: Auditor Cell_store Journal Ledger Object_store Spitz_adt Spitz_index Spitz_ledger Spitz_storage Universal_key Verifier

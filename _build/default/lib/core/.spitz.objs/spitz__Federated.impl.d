@@ -1,0 +1,1 @@
+lib/core/federated.ml: Db List Option

@@ -1,0 +1,1 @@
+lib/core/federated.mli: Db Spitz_ledger

@@ -1,0 +1,1 @@
+lib/core/processor.ml: Db Journal Queue Spitz_ledger Txn_manager

@@ -1,0 +1,1 @@
+lib/core/processor.mli: Db Journal Spitz_ledger

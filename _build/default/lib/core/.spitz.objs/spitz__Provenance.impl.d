@@ -1,0 +1,1 @@
+lib/core/provenance.ml: Auditor Db Hashtbl Int List Option Skiplist Spitz_index Spitz_ledger String

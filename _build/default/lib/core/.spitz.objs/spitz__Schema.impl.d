@@ -1,0 +1,1 @@
+lib/core/schema.ml: Auditor Cell_store Db Float Json Ledger List Option Printf Set Spitz_index Spitz_ledger String Universal_key

@@ -1,0 +1,1 @@
+lib/core/sql.ml: Auditor Buffer Db Json List Option Printf Schema Spitz_ledger String

@@ -1,0 +1,1 @@
+lib/core/sql.mli: Db Json Schema

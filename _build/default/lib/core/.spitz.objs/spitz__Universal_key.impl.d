@@ -1,0 +1,1 @@
+lib/core/universal_key.ml: Format Hash Printf Spitz_crypto String

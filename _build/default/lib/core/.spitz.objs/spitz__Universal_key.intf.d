@@ -1,0 +1,1 @@
+lib/core/universal_key.mli: Format Hash Spitz_crypto

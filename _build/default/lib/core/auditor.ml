@@ -1,0 +1,34 @@
+open Spitz_ledger
+
+(* The auditor (paper section 5, control layer): the component through which
+   every data change reaches the ledger, and through which every proof comes
+   back. Wraps the SIRI-backed ledger; one auditor per processor node. *)
+
+module L = Ledger.Default
+
+type t = { ledger : L.t }
+
+let create store = { ledger = L.create store }
+
+let of_ledger ledger = { ledger }
+
+let ledger t = t.ledger
+
+let height t = L.height t.ledger
+let digest t = L.digest t.ledger
+
+(* Record a batch of changes as one ledger block; returns its height. *)
+let record t ?statements writes = L.commit t.ledger ?statements writes
+
+(* Proof retrieval for the read path (section 5.1, read step 3). *)
+let get_with_proof t key = L.get_with_proof t.ledger key
+let range_with_proof t ~lo ~hi = L.range_with_proof t.ledger ~lo ~hi
+
+(* Write receipts for the write path (section 5.1, write step 2). *)
+let receipts t ~height = L.write_receipts t.ledger ~height
+
+let consistency t ~old_size = Journal.prove_consistency (L.journal t.ledger) ~old_size
+
+let history t key = L.history t.ledger key
+
+let audit t = L.audit t.ledger

@@ -1,0 +1,31 @@
+(** The auditor of a processor node (paper section 5): the component through
+    which every data change reaches the ledger and every proof comes back. *)
+
+open Spitz_ledger
+
+module L : module type of struct include Ledger.Default end
+
+type t
+
+val create : Spitz_storage.Object_store.t -> t
+val of_ledger : L.t -> t
+
+val ledger : t -> L.t
+val height : t -> int
+val digest : t -> Journal.digest
+
+val record : t -> ?statements:string list -> Ledger.write list -> int
+(** Commit a batch of changes as one ledger block; returns its height. *)
+
+val get_with_proof : t -> string -> string option * L.read_proof option
+val range_with_proof :
+  t -> lo:string -> hi:string -> (string * string) list * L.read_proof option
+
+val receipts : t -> height:int -> L.write_receipt list
+(** Write receipts for every entry of a committed block. *)
+
+val consistency : t -> old_size:int -> Spitz_adt.Merkle.consistency_proof
+
+val history : t -> string -> (int * string option) list
+
+val audit : t -> bool

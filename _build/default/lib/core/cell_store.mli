@@ -1,0 +1,41 @@
+(** The virtual cell store (paper section 5): immutable, content-addressed
+    cells keyed by universal key, indexed by one B+-tree over the encoded
+    keys. *)
+
+open Spitz_storage
+
+type t
+
+val create : ?store:Object_store.t -> unit -> t
+
+val store : t -> Object_store.t
+
+val tick : t -> int
+(** Advance and return the store's logical clock (used when the caller does
+    not supply timestamps). *)
+
+val write_cell : t -> column:string -> pk:string -> ?ts:int -> string -> Universal_key.t
+(** Append one immutable cell version; the value is content-addressed into
+    the object store. *)
+
+val read_cell : ?ts:int -> t -> column:string -> pk:string -> (Universal_key.t * string) option
+(** Newest version at or below [ts] (default: latest), with its key. *)
+
+val read_value : ?ts:int -> t -> column:string -> pk:string -> string option
+(** Hot path: like {!read_cell} but without decoding the universal key. *)
+
+val versions : t -> column:string -> pk:string -> (Universal_key.t * string) list
+(** Every version of one cell, oldest first. *)
+
+val range_latest : t -> column:string -> pk_lo:string -> pk_hi:string -> (Universal_key.t * string) list
+(** Latest version of each cell of [column] with pk in the range. *)
+
+val range_latest_values : t -> column:string -> pk_lo:string -> pk_hi:string -> (string * string) list
+(** Hot path: like {!range_latest} but yielding (pk, value) without full key
+    decoding. *)
+
+val cell_count : t -> int
+(** Total stored cell versions. *)
+
+val iter_cells : t -> (string -> Spitz_crypto.Hash.t -> unit) -> unit
+(** Every (encoded universal key, value address) pair. *)

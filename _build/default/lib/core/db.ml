@@ -1,0 +1,223 @@
+open Spitz_storage
+open Spitz_ledger
+
+(* The Spitz database facade: the public API a processor node exposes.
+
+   Reads and writes follow the section 5.1 pipeline. A write (1) arrives at
+   the request handler, (2) is checked by the auditor, which updates the
+   ledger and obtains the proof, (3) is applied to the cell store through the
+   B+-tree index, and (4) returns with its proof. A read answers from the
+   cell store; when verification is requested, the proof comes from the
+   ledger's unified index — the same traversal that located the data, which
+   is the efficiency argument of section 6.2.1. *)
+
+module L = Ledger.Default
+module V = Verifier.Default
+
+type t = {
+  store : Object_store.t;
+  cells : Cell_store.t;
+  auditor : Auditor.t;
+  column : string;               (* column id for the KV surface *)
+  inverted : Spitz_index.Inverted.t option;
+}
+
+let open_db ?store ?(column = "v") ?(with_inverted = false) () =
+  let store = match store with Some s -> s | None -> Object_store.create () in
+  {
+    store;
+    cells = Cell_store.create ~store ();
+    auditor = Auditor.create store;
+    column;
+    inverted = (if with_inverted then Some (Spitz_index.Inverted.create ()) else None);
+  }
+
+let store t = t.store
+let auditor t = t.auditor
+let cells t = t.cells
+let inverted_index t = t.inverted
+let default_column t = t.column
+
+let cell_count t = Cell_store.cell_count t.cells
+(* total cell versions, not distinct keys *)
+
+(* --- Writes --- *)
+
+let apply_cells t height writes =
+  List.iter
+    (fun w ->
+       match w with
+       | Ledger.Put (key, value) ->
+         let ukey = Cell_store.write_cell t.cells ~column:t.column ~pk:key ~ts:height value in
+         (match t.inverted with
+          | None -> ()
+          | Some inv ->
+            Spitz_index.Inverted.add inv (Spitz_index.Inverted.Str value)
+              (Universal_key.encode ukey))
+       | Ledger.Delete _ -> ())
+    writes
+
+let put_batch t ?statements kvs =
+  let writes = List.map (fun (k, v) -> Ledger.Put (k, v)) kvs in
+  let height = Auditor.record t.auditor ?statements writes in
+  apply_cells t height writes;
+  height
+
+let put t key value = put_batch t [ (key, value) ]
+
+let put_verified t key value =
+  let height = put t key value in
+  match Auditor.receipts t.auditor ~height with
+  | [ receipt ] -> (height, receipt)
+  | receipts -> (height, List.hd receipts)
+
+(* --- Reads --- *)
+
+let get t key = Cell_store.read_value t.cells ~column:t.column ~pk:key
+
+let get_at t ~height key = Cell_store.read_value ~ts:height t.cells ~column:t.column ~pk:key
+
+let get_verified t key =
+  (* unified index: value and proof from one ledger traversal *)
+  Auditor.get_with_proof t.auditor key
+
+let range t ~lo ~hi = Cell_store.range_latest_values t.cells ~column:t.column ~pk_lo:lo ~pk_hi:hi
+
+let range_verified t ~lo ~hi = Auditor.range_with_proof t.auditor ~lo ~hi
+
+let history t key =
+  List.map
+    (fun (uk, v) -> (uk.Universal_key.ts, v))
+    (Cell_store.versions t.cells ~column:t.column ~pk:key)
+
+let search_value t value =
+  match t.inverted with
+  | None -> []
+  | Some inv ->
+    List.filter_map Universal_key.decode
+      (Spitz_index.Inverted.lookup inv (Spitz_index.Inverted.Str value))
+
+(* --- Verification surface --- *)
+
+let digest t = Auditor.digest t.auditor
+
+let consistency t ~old_size = Auditor.consistency t.auditor ~old_size
+
+let verify_read ~digest ~key ~value proof = L.verify_read ~digest ~key ~value proof
+let verify_range ~digest ~lo ~hi ~entries proof = L.verify_range ~digest ~lo ~hi ~entries proof
+let verify_write ~digest receipt = L.verify_write ~digest receipt
+
+let audit t = Auditor.audit t.auditor
+
+(* --- compaction ---
+
+   Immutability means the store only grows (the paper's first challenge,
+   section 3.1). Compaction bounds it: keep the journal (the audit trail),
+   the most recent [keep_instances] ledger index versions, and every cell
+   value the cell-store index references; sweep everything else — chiefly
+   the interior nodes of ledger index versions older than the horizon.
+   Verified reads against pruned historical instances become unavailable;
+   current proofs, the full value history, and the chain audit are
+   untouched. Returns (objects deleted, bytes reclaimed). *)
+
+let compact ?(keep_instances = 16) t =
+  let live = Spitz_crypto.Hash.Table.create 4096 in
+  let visit h = Spitz_crypto.Hash.Table.replace live h () in
+  (* the ledger: journal bodies + retained index instances *)
+  L.mark_live (Auditor.ledger t.auditor) ~keep_instances visit;
+  (* the cell store: every referenced value blob, including chunked ones *)
+  Cell_store.iter_cells t.cells (fun _ vhash ->
+      visit vhash;
+      List.iter visit (Object_store.blob_parts t.store vhash));
+  let before = (Object_store.stats t.store).Object_store.physical_bytes in
+  let deleted = Object_store.sweep t.store ~live in
+  let after = (Object_store.stats t.store).Object_store.physical_bytes in
+  (deleted, before - after)
+
+(* --- persistence: everything lives in the content-addressed store, so a
+   database file is the object stream plus the journal's block addresses.
+   Restore re-validates the hash chain and replays the journal to rebuild
+   the cell store and inverted index. --- *)
+
+let magic = "SPITZDB1"
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       output_string oc magic;
+       let buf = Wire.writer () in
+       Wire.write_string buf t.column;
+       Wire.write_byte buf (if t.inverted = None then '\000' else '\001');
+       Wire.write_list buf Wire.write_hash (L.body_hashes (Auditor.ledger t.auditor));
+       let header = Wire.contents buf in
+       output_binary_int oc (String.length header);
+       output_string oc header;
+       Object_store.dump t.store oc)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+       let m = really_input_string ic (String.length magic) in
+       if not (String.equal m magic) then failwith "Db.load: not a spitz database file";
+       let header_len = input_binary_int ic in
+       let header = really_input_string ic header_len in
+       let r = Wire.reader header in
+       let column = Wire.read_string r in
+       let with_inverted = Wire.read_byte r = '\001' in
+       let bodies = Wire.read_list r Wire.read_hash in
+       let store = Object_store.create () in
+       Object_store.restore store ic;
+       let ledger = L.restore store bodies in
+       let t =
+         {
+           store;
+           cells = Cell_store.create ~store ();
+           auditor = Auditor.of_ledger ledger;
+           column;
+           inverted = (if with_inverted then Some (Spitz_index.Inverted.create ()) else None);
+         }
+       in
+       (* replay the journal into the cell store (and inverted index) *)
+       let journal = L.journal ledger in
+       for height = 0 to Spitz_ledger.Journal.length journal - 1 do
+         let block = Spitz_ledger.Journal.block journal height in
+         List.iter
+           (fun (e : Spitz_ledger.Block.entry) ->
+              match e.Spitz_ledger.Block.op with
+              | Spitz_ledger.Block.Delete -> ()
+              | Spitz_ledger.Block.Insert | Spitz_ledger.Block.Update ->
+                let value =
+                  (* normally from the index instance of that block; if that
+                     instance was compacted away, recover small raw values by
+                     their content address, else the version is gone *)
+                  match L.get_at ledger ~height e.Spitz_ledger.Block.key with
+                  | v -> v
+                  | exception Not_found ->
+                    Object_store.get store e.Spitz_ledger.Block.value_hash
+                in
+                (match value with
+                 | None -> ()
+                 | Some value ->
+                   (* schema-layer keys carry their column; KV keys use the
+                      database's default column *)
+                   let column, pk =
+                     match String.index_opt e.Spitz_ledger.Block.key '\x1f' with
+                     | Some i ->
+                       ( String.sub e.Spitz_ledger.Block.key 0 i,
+                         String.sub e.Spitz_ledger.Block.key (i + 1)
+                           (String.length e.Spitz_ledger.Block.key - i - 1) )
+                     | None -> (t.column, e.Spitz_ledger.Block.key)
+                   in
+                   let ukey = Cell_store.write_cell t.cells ~column ~pk ~ts:height value in
+                   (match t.inverted with
+                    | Some inv when String.equal column t.column ->
+                      Spitz_index.Inverted.add inv (Spitz_index.Inverted.Str value)
+                        (Universal_key.encode ukey)
+                    | _ -> ())))
+           block.Spitz_ledger.Block.entries
+       done;
+       t)

@@ -1,0 +1,112 @@
+(** The Spitz database facade — the public API a processor node exposes.
+
+    Reads and writes follow the paper's section 5.1 pipeline: a write is
+    checked by the auditor (which updates the ledger and obtains the proof),
+    then applied to the cell store through the B+-tree index; a read answers
+    from the cell store, and when verification is requested the proof comes
+    from the ledger's unified index — the same traversal that locates the
+    data. *)
+
+open Spitz_storage
+open Spitz_ledger
+
+module L : module type of struct include Ledger.Default end
+(** The ledger instantiation this database runs on (Merkle B+-tree index);
+    exposes the proof types below. *)
+
+module V : module type of struct include Verifier.Default end
+(** The matching client-side verifier. *)
+
+type t
+
+val open_db : ?store:Object_store.t -> ?column:string -> ?with_inverted:bool -> unit -> t
+(** A fresh database. [column] names the cell-store column of the KV surface
+    (default ["v"]); [with_inverted] enables the inverted value index. *)
+
+val store : t -> Object_store.t
+val auditor : t -> Auditor.t
+val cells : t -> Cell_store.t
+val inverted_index : t -> Spitz_index.Inverted.t option
+val default_column : t -> string
+
+val cell_count : t -> int
+(** Total cell versions stored (not distinct keys). *)
+
+(** {1 Writes} *)
+
+val put : t -> string -> string -> int
+(** Write one key; commits one ledger block and returns its height. Updates
+    append versions — nothing is overwritten. *)
+
+val put_batch : t -> ?statements:string list -> (string * string) list -> int
+(** Commit many writes as one ledger block (one transaction). [statements]
+    are recorded in the block for audit. *)
+
+val put_verified : t -> string -> string -> int * L.write_receipt
+(** {!put}, plus the write receipt proving the commit under the digest. *)
+
+(** {1 Reads} *)
+
+val get : t -> string -> string option
+(** Latest committed value. *)
+
+val get_at : t -> height:int -> string -> string option
+(** The value as of a given ledger block (historical snapshot). *)
+
+val get_verified : t -> string -> string option * L.read_proof option
+(** Value plus its integrity proof from the unified index ([None] proof only
+    on an empty database). *)
+
+val range : t -> lo:string -> hi:string -> (string * string) list
+(** Latest values for keys in [lo..hi], in key order. *)
+
+val range_verified :
+  t -> lo:string -> hi:string -> (string * string) list * L.read_proof option
+(** Range results under one proof covering the whole answer — sound against
+    omissions, fabrications, and substitutions. *)
+
+val history : t -> string -> (int * string) list
+(** Every committed version of a key as (block height, value), oldest
+    first. *)
+
+val search_value : t -> string -> Universal_key.t list
+(** Inverted-index lookup: cells currently or historically holding exactly
+    this value (requires [with_inverted]). *)
+
+(** {1 Verification surface (client side)} *)
+
+val digest : t -> Journal.digest
+(** What a verifying client pins: 32 bytes plus a block count. *)
+
+val consistency : t -> old_size:int -> Spitz_adt.Merkle.consistency_proof
+(** Proof that the current digest extends the journal of [old_size] blocks. *)
+
+val verify_read :
+  digest:Journal.digest -> key:string -> value:string option -> L.read_proof -> bool
+
+val verify_range :
+  digest:Journal.digest -> lo:string -> hi:string ->
+  entries:(string * string) list -> L.read_proof -> bool
+
+val verify_write : digest:Journal.digest -> L.write_receipt -> bool
+
+val audit : t -> bool
+(** Re-walk every hash link of the journal. *)
+
+val compact : ?keep_instances:int -> t -> int * int
+(** Bound the ever-growing store: keep the journal, the newest
+    [keep_instances] ledger index versions (default 16), and every
+    referenced cell value; sweep the rest. Historical *verified* reads
+    older than the horizon become unavailable; the value history and chain
+    audit are untouched. Returns (objects deleted, bytes reclaimed). *)
+
+(** {1 Persistence} *)
+
+val save : t -> string -> unit
+(** Write the database to a file: the content-addressed object stream plus
+    the journal's block addresses. *)
+
+val load : string -> t
+(** Reopen a saved database. Re-validates the hash chain and replays the
+    journal to rebuild the cell store and inverted index. Raises [Failure]
+    on a corrupt or foreign file. *)

@@ -1,0 +1,73 @@
+(* Verifiable federated analytical queries (paper Figure 9 and section 7.2):
+   several independent parties each run their own Spitz instance; a
+   coordinator fans an analytical query out, every party answers with results
+   plus integrity proofs against its own pinned digest, and the coordinator
+   accepts the combined answer only if every per-party proof verifies. A
+   party cannot read another party's database — only the query results and
+   proofs cross the boundary. *)
+
+type participant = {
+  name : string;
+  db : Db.t;
+}
+
+let participant ~name db = { name; db }
+
+type party_answer = {
+  party : string;
+  entries : (string * string) list;
+  verified : bool;
+}
+
+type 'a outcome = {
+  answers : party_answer list;
+  all_verified : bool;
+  aggregate : 'a option; (* None unless every party verified *)
+}
+
+(* Fan a verified range query out and fold the verified rows. The
+   coordinator holds each party's digest (obtained out of band, e.g. from a
+   digest-exchange protocol) and verifies each party's proof independently. *)
+let range_query ~digests participants ~lo ~hi ~init ~fold =
+  let answers =
+    List.map
+      (fun p ->
+         let entries, proof = Db.range_verified p.db ~lo ~hi in
+         let verified =
+           match (List.assoc_opt p.name digests, proof) with
+           | Some digest, Some proof -> Db.verify_range ~digest ~lo ~hi ~entries proof
+           | _, None -> entries = []
+           | None, _ -> false
+         in
+         { party = p.name; entries; verified })
+      participants
+  in
+  let all_verified = List.for_all (fun a -> a.verified) answers in
+  let aggregate =
+    if all_verified then
+      Some
+        (List.fold_left
+           (fun acc a -> List.fold_left (fun acc (k, v) -> fold acc k v) acc a.entries)
+           init answers)
+    else None
+  in
+  { answers; all_verified; aggregate }
+
+(* Common aggregates over numeric cell values. *)
+let count ~digests participants ~lo ~hi =
+  range_query ~digests participants ~lo ~hi ~init:0 ~fold:(fun n _ _ -> n + 1)
+
+let sum ~digests participants ~lo ~hi ~of_value =
+  range_query ~digests participants ~lo ~hi ~init:0.0 ~fold:(fun acc _ v -> acc +. of_value v)
+
+let mean ~digests participants ~lo ~hi ~of_value =
+  let r =
+    range_query ~digests participants ~lo ~hi ~init:(0.0, 0)
+      ~fold:(fun (s, n) _ v -> (s +. of_value v, n + 1))
+  in
+  {
+    answers = r.answers;
+    all_verified = r.all_verified;
+    aggregate =
+      Option.map (fun (s, n) -> if n = 0 then 0.0 else s /. float_of_int n) r.aggregate;
+  }

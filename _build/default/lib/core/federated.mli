@@ -1,0 +1,44 @@
+(** Verifiable federated analytical queries (paper Figure 9, section 7.2):
+    a coordinator fans a query out to independent parties, verifies each
+    party's proof against that party's pinned digest, and releases the
+    combined aggregate only if every proof verifies. *)
+
+type participant = {
+  name : string;
+  db : Db.t;
+}
+
+val participant : name:string -> Db.t -> participant
+
+type party_answer = {
+  party : string;
+  entries : (string * string) list;
+  verified : bool;
+}
+
+type 'a outcome = {
+  answers : party_answer list;
+  all_verified : bool;
+  aggregate : 'a option; (** [None] unless every party verified *)
+}
+
+val range_query :
+  digests:(string * Spitz_ledger.Journal.digest) list ->
+  participant list -> lo:string -> hi:string ->
+  init:'a -> fold:('a -> string -> string -> 'a) -> 'a outcome
+(** Verified range query folded across all parties' rows. [digests] maps
+    party name to its pinned digest (obtained out of band). *)
+
+val count :
+  digests:(string * Spitz_ledger.Journal.digest) list ->
+  participant list -> lo:string -> hi:string -> int outcome
+
+val sum :
+  digests:(string * Spitz_ledger.Journal.digest) list ->
+  participant list -> lo:string -> hi:string ->
+  of_value:(string -> float) -> float outcome
+
+val mean :
+  digests:(string * Spitz_ledger.Journal.digest) list ->
+  participant list -> lo:string -> hi:string ->
+  of_value:(string -> float) -> float outcome

@@ -1,0 +1,25 @@
+(** Minimal JSON for the self-defined schema interface. Printing is canonical,
+    so printed values can be stored and hashed stably. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Raises {!Parse_error} on invalid input. *)
+
+val to_string : t -> string
+(** Canonical, whitespace-free rendering; [of_string (to_string v)]
+    reproduces [v] up to float formatting. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -1,0 +1,103 @@
+open Spitz_ledger
+
+(* The processor node of the control layer (paper Figure 5 and section 5.1):
+   requests arrive through a message queue; the request handler dispatches
+   them; the auditor talks to the ledger; the transaction manager orders the
+   execution. One processor per node — [Cluster] composes several.
+
+   The paper's four steps for a write:
+     (1) the request handler collects the transaction from the queue,
+     (2) the auditor checks the writes and updates the ledger, which returns
+         a proof,
+     (3) the processor traverses the B+-tree index and writes the cell store,
+     (4) results and proof are combined and returned.
+   Reads follow the same path with the proof fetched after the data. *)
+
+type request =
+  | Get of { key : string; verify : bool }
+  | Put of { key : string; value : string; verify : bool }
+  | Range of { lo : string; hi : string; verify : bool }
+  | Batch of { kvs : (string * string) list; statements : string list }
+  | History of { key : string }
+  | Digest
+
+type response =
+  | Value of string option
+  | Value_proved of string option * Db.L.read_proof
+  | Entries of (string * string) list
+  | Entries_proved of (string * string) list * Db.L.read_proof option
+  | Committed of int (* block height *)
+  | Committed_proved of int * Db.L.write_receipt list
+  | Versions of (int * string) list
+  | Digest_is of Journal.digest
+  | Rejected of string
+
+type t = {
+  node_id : int;
+  db : Db.t;
+  queue : (request * (response -> unit)) Queue.t;
+  txn_manager : Txn_manager.t;
+  mutable processed : int;
+}
+
+let create ?(node_id = 0) db =
+  { node_id; db; queue = Queue.create (); txn_manager = Txn_manager.create (); processed = 0 }
+
+let node_id t = t.node_id
+let db t = t.db
+let processed t = t.processed
+let pending t = Queue.length t.queue
+
+(* Step (1): the request handler enqueues; [callback] receives the response
+   when the processor drains the queue. *)
+let submit t request callback = Queue.add (request, callback) t.queue
+
+let execute t request =
+  match request with
+  | Get { key; verify = false } -> Value (Db.get t.db key)
+  | Get { key; verify = true } ->
+    (* steps (2)-(4) of the read path: results, then proof via the auditor *)
+    let value, proof = Db.get_verified t.db key in
+    (match proof with
+     | Some proof -> Value_proved (value, proof)
+     | None -> Value value)
+  | Put { key; value; verify = false } ->
+    let _ = Txn_manager.begin_txn t.txn_manager in
+    Committed (Db.put t.db key value)
+  | Put { key; value; verify = true } ->
+    let _ = Txn_manager.begin_txn t.txn_manager in
+    let height, receipt = Db.put_verified t.db key value in
+    Committed_proved (height, [ receipt ])
+  | Range { lo; hi; verify = false } -> Entries (Db.range t.db ~lo ~hi)
+  | Range { lo; hi; verify = true } ->
+    let entries, proof = Db.range_verified t.db ~lo ~hi in
+    Entries_proved (entries, proof)
+  | Batch { kvs; statements } ->
+    let _ = Txn_manager.begin_txn t.txn_manager in
+    Committed (Db.put_batch t.db ~statements kvs)
+  | History { key } -> Versions (Db.history t.db key)
+  | Digest -> Digest_is (Db.digest t.db)
+
+(* Drain up to [limit] queued requests (all by default). Returns how many
+   were processed. *)
+let run ?limit t =
+  let budget = match limit with Some l -> l | None -> Queue.length t.queue in
+  let n = ref 0 in
+  while !n < budget && not (Queue.is_empty t.queue) do
+    let request, callback = Queue.pop t.queue in
+    let response =
+      try execute t request with
+      | Invalid_argument msg | Failure msg -> Rejected msg
+    in
+    t.processed <- t.processed + 1;
+    incr n;
+    callback response
+  done;
+  !n
+
+(* Synchronous convenience: submit one request and drain the queue. *)
+let call t request =
+  let slot = ref (Rejected "not processed") in
+  submit t request (fun r -> slot := r);
+  ignore (run t);
+  !slot

@@ -1,0 +1,44 @@
+(** A processor node of the control layer (paper Figure 5, section 5.1):
+    requests arrive through a message queue, the request handler dispatches,
+    the auditor talks to the ledger, the transaction manager orders
+    execution. *)
+
+open Spitz_ledger
+
+type request =
+  | Get of { key : string; verify : bool }
+  | Put of { key : string; value : string; verify : bool }
+  | Range of { lo : string; hi : string; verify : bool }
+  | Batch of { kvs : (string * string) list; statements : string list }
+  | History of { key : string }
+  | Digest
+
+type response =
+  | Value of string option
+  | Value_proved of string option * Db.L.read_proof
+  | Entries of (string * string) list
+  | Entries_proved of (string * string) list * Db.L.read_proof option
+  | Committed of int
+  | Committed_proved of int * Db.L.write_receipt list
+  | Versions of (int * string) list
+  | Digest_is of Journal.digest
+  | Rejected of string
+
+type t
+
+val create : ?node_id:int -> Db.t -> t
+
+val node_id : t -> int
+val db : t -> Db.t
+val processed : t -> int
+val pending : t -> int
+
+val submit : t -> request -> (response -> unit) -> unit
+(** Enqueue; the callback fires when the processor drains the queue. *)
+
+val run : ?limit:int -> t -> int
+(** Drain up to [limit] queued requests (all by default); returns how many
+    were processed. *)
+
+val call : t -> request -> response
+(** Synchronous convenience: submit one request and drain. *)

@@ -1,0 +1,34 @@
+(** LineageChain-style provenance: a per-key skip-list index over committed
+    versions, each linked to its predecessor and annotated with the statement
+    that wrote it. *)
+
+type entry = {
+  height : int;           (** block that committed this version *)
+  value : string option;  (** [None] = deletion *)
+  statement : string;     (** recorded query statement, [""] if none *)
+  previous : int option;  (** height of the predecessor version *)
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> key:string -> height:int -> ?statement:string -> string option -> unit
+
+val value_at : t -> string -> height:int -> string option
+(** The value live as of a block height (logarithmic). *)
+
+val between : t -> string -> lo:int -> hi:int -> entry list
+(** Versions committed in the block interval, oldest first. *)
+
+val full_history : t -> string -> entry list
+
+val lineage : t -> string -> height:int -> entry list
+(** Walk the predecessor chain backwards from the version live at [height],
+    newest first. *)
+
+val recorded : t -> int
+
+val of_db : Db.t -> t
+(** Rebuild the provenance index by replaying a database's journal — what a
+    new auditor does when it joins. *)

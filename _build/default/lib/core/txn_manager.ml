@@ -1,0 +1,50 @@
+open Spitz_txn
+
+(* The transaction manager of a processor node (paper Figure 5): allocates
+   transaction identities and timestamps, and tracks the outcome counters the
+   control layer reports. Timestamps come from either a global oracle shared
+   across processors, or this node's hybrid logical clock when the deployment
+   avoids the oracle bottleneck (section 5.2). *)
+
+type ts_source = Oracle of Timestamp.t | Hlc_clock of Hlc.t
+
+type t = {
+  source : ts_source;
+  mutable next_txn : int;
+  mutable started : int;
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+let create ?oracle ?node_id () =
+  let source =
+    match (oracle, node_id) with
+    | Some o, _ -> Oracle o
+    | None, Some id -> Hlc_clock (Hlc.create ~node_id:id ())
+    | None, None -> Oracle (Timestamp.create ())
+  in
+  { source; next_txn = 0; started = 0; committed = 0; aborted = 0 }
+
+type txn = { id : int; start_ts : int }
+
+let timestamp t =
+  match t.source with
+  | Oracle o -> Timestamp.next o
+  | Hlc_clock c ->
+    let ts = Hlc.now c in
+    (* flatten an HLC timestamp into a comparable integer: wall-dominant *)
+    (ts.Hlc.wall * 1_000_000) + ts.Hlc.logical
+
+let begin_txn t =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  t.started <- t.started + 1;
+  { id; start_ts = timestamp t }
+
+let commit t (_ : txn) =
+  t.committed <- t.committed + 1;
+  timestamp t
+
+let abort t (_ : txn) = t.aborted <- t.aborted + 1
+
+let stats t = (t.started, t.committed, t.aborted)

@@ -1,0 +1,24 @@
+(** The transaction manager of a processor node: transaction identities,
+    timestamps (global oracle or per-node HLC), and outcome counters. *)
+
+open Spitz_txn
+
+type t
+
+val create : ?oracle:Timestamp.t -> ?node_id:int -> unit -> t
+(** With [oracle], timestamps come from the shared global oracle; with only
+    [node_id], from this node's hybrid logical clock; with neither, from a
+    private oracle. *)
+
+type txn = { id : int; start_ts : int }
+
+val begin_txn : t -> txn
+val commit : t -> txn -> int
+(** Returns the commit timestamp. *)
+
+val abort : t -> txn -> unit
+
+val timestamp : t -> int
+
+val stats : t -> int * int * int
+(** (started, committed, aborted). *)

@@ -1,0 +1,1 @@
+lib/crypto/hash.ml: Buffer Char Format Hashtbl Map Printf Set Sha256 Stdlib String

@@ -1,0 +1,55 @@
+type t = string (* 32 raw bytes *)
+
+let size = 32
+
+let of_string s = Sha256.digest_string s
+
+let of_strings parts = Sha256.digest_strings parts
+
+let null = String.make size '\000'
+
+let is_null t = String.equal t null
+
+let equal = String.equal
+let compare = String.compare
+
+let to_raw t = t
+
+let of_raw s =
+  if String.length s <> size then
+    invalid_arg (Printf.sprintf "Hash.of_raw: expected %d bytes, got %d" size (String.length s));
+  s
+
+let to_hex t =
+  let buf = Buffer.create (size * 2) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) t;
+  Buffer.contents buf
+
+let of_hex s =
+  if String.length s <> size * 2 then invalid_arg "Hash.of_hex: wrong length";
+  String.init size (fun i ->
+      let byte = int_of_string ("0x" ^ String.sub s (i * 2) 2) in
+      Char.chr byte)
+
+let short_hex t = String.sub (to_hex t) 0 8
+
+(* Domain-separated combiners: leaves and interior nodes must hash into
+   disjoint domains, otherwise an interior node could be replayed as a leaf
+   (second-preimage attack on Merkle trees, RFC 6962 section 2.1). *)
+let leaf data = Sha256.digest_strings [ "\x00"; data ]
+
+let node left right = Sha256.digest_strings [ "\x01"; left; right ]
+
+let node_list children = Sha256.digest_strings ("\x02" :: children)
+
+let pp fmt t = Format.pp_print_string fmt (short_hex t)
+
+let hash t = Stdlib.Hashtbl.hash t
+
+module Map = Map.Make (String)
+module Set = Set.Make (String)
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end)

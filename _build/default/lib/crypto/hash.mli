@@ -1,0 +1,51 @@
+(** SHA-256 digests with the domain-separated combiners used by every
+    authenticated structure in the system. *)
+
+type t
+(** A 32-byte SHA-256 digest. *)
+
+val size : int
+(** Digest length in bytes (32). *)
+
+val of_string : string -> t
+(** Hash arbitrary data. *)
+
+val of_strings : string list -> t
+(** Hash the concatenation of the parts without materializing it. *)
+
+val null : t
+(** The all-zero digest, used as a sentinel (e.g. previous-hash of a genesis
+    block). *)
+
+val is_null : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_raw : t -> string
+(** The 32 raw bytes. *)
+
+val of_raw : string -> t
+(** Inverse of {!to_raw}. Raises [Invalid_argument] on wrong length. *)
+
+val to_hex : t -> string
+val of_hex : string -> t
+
+val short_hex : t -> string
+(** First 8 hex characters — for logs and display. *)
+
+val leaf : string -> t
+(** Domain-separated leaf hash (RFC 6962-style [0x00] prefix). *)
+
+val node : t -> t -> t
+(** Domain-separated interior-node hash ([0x01] prefix). *)
+
+val node_list : t list -> t
+(** Domain-separated hash of an n-ary node's children ([0x02] prefix). *)
+
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

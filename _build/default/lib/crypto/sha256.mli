@@ -1,0 +1,27 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    Vendored because the sealed build environment has no cryptographic hash
+    package. Verified in the test suite against the FIPS 180-4 known-answer
+    vectors. *)
+
+type ctx
+(** Streaming hash state. Not thread-safe; one context per stream. *)
+
+val init : unit -> ctx
+(** Fresh hash state. *)
+
+val feed_string : ctx -> string -> unit
+(** Absorb [s] into the state. *)
+
+val feed_bytes : ctx -> Bytes.t -> int -> int -> unit
+(** [feed_bytes ctx b off len] absorbs the slice [b.[off .. off+len-1]]. *)
+
+val finalize : ctx -> string
+(** Produce the 32-byte raw digest. The context must not be reused. *)
+
+val digest_string : string -> string
+(** One-shot digest of a string; returns 32 raw bytes. *)
+
+val digest_strings : string list -> string
+(** One-shot digest of the concatenation of the parts, without building the
+    concatenated string. *)

@@ -1,0 +1,1 @@
+lib/index/inverted.ml: Float List Option Radix_tree Skiplist String

@@ -1,0 +1,1 @@
+lib/index/learned_index.ml: Array Char Float List String

@@ -1,0 +1,1 @@
+lib/index/radix_tree.ml: Char List Option String

@@ -1,0 +1,1 @@
+lib/index/radix_tree.mli:

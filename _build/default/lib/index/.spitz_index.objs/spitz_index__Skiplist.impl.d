@@ -1,0 +1,1 @@
+lib/index/skiplist.ml: Array List

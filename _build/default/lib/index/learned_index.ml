@@ -1,0 +1,166 @@
+(* A learned index over a static sorted key set (paper section 7.1,
+   "learning-based data structure", after Kraska et al. [27] and the
+   FITing-tree): instead of a tree, a piecewise-linear model predicts each
+   key's position in the sorted array within a guaranteed error bound, and a
+   short local search finishes the lookup.
+
+   Segments are fit greedily with the shrinking-cone algorithm: extend the
+   current segment while some line through its origin passes within
+   [max_error] of every point; close it when the feasible slope cone empties.
+   Lookups are O(log #segments) to find the model plus O(log max_error) to
+   finish — with few, well-fit segments this beats a tree's pointer chase,
+   which is exactly the effect [27] reports. *)
+
+type 'a t = {
+  keys : string array;            (* sorted *)
+  values : 'a array;
+  xs : float array;               (* numeric projections of the keys *)
+  seg_x : float array;            (* first projected key of each segment *)
+  seg_start : int array;          (* first position of each segment *)
+  seg_slope : float array;
+  max_error : int;
+}
+
+(* Project a key to a float preserving lexicographic order: the first 8 bytes
+   as a big-endian fraction. Collisions (shared 8-byte prefixes) are fine —
+   equal projections land in the same neighbourhood and the local search
+   disambiguates. *)
+let project key =
+  let x = ref 0.0 in
+  for i = 0 to 7 do
+    let byte = if i < String.length key then Char.code key.[i] else 0 in
+    x := (!x *. 256.0) +. float_of_int byte
+  done;
+  !x
+
+let cardinal t = Array.length t.keys
+let segments t = Array.length t.seg_x
+let max_error t = t.max_error
+
+(* Greedy shrinking-cone segmentation of the (x, position) points. *)
+let fit ~max_error xs =
+  let n = Array.length xs in
+  let err = float_of_int max_error in
+  let seg_x = ref [] and seg_start = ref [] and seg_slope = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let x0 = xs.(!i) and y0 = float_of_int !i in
+    let lo = ref neg_infinity and hi = ref infinity in
+    let j = ref (!i + 1) in
+    let continue = ref true in
+    while !continue && !j < n do
+      let dx = xs.(!j) -. x0 in
+      let dy = float_of_int !j -. y0 in
+      if dx <= 0.0 then begin
+        (* duplicate projection: representable by any slope; keep going as
+           long as the vertical error alone stays within bound *)
+        if dy > err then continue := false else incr j
+      end
+      else begin
+        let lo' = Float.max !lo ((dy -. err) /. dx) in
+        let hi' = Float.min !hi ((dy +. err) /. dx) in
+        if lo' > hi' then continue := false
+        else begin
+          lo := lo';
+          hi := hi';
+          incr j
+        end
+      end
+    done;
+    let slope =
+      if Float.is_finite !lo && Float.is_finite !hi then (!lo +. !hi) /. 2.0
+      else if Float.is_finite !lo then !lo
+      else if Float.is_finite !hi then Float.max 0.0 !hi
+      else 0.0
+    in
+    seg_x := x0 :: !seg_x;
+    seg_start := !i :: !seg_start;
+    seg_slope := slope :: !seg_slope;
+    i := !j
+  done;
+  ( Array.of_list (List.rev !seg_x),
+    Array.of_list (List.rev !seg_start),
+    Array.of_list (List.rev !seg_slope) )
+
+let build ?(max_error = 32) entries =
+  let entries = List.sort (fun (a, _) (b, _) -> String.compare a b) entries in
+  (* keep the last binding of duplicate keys *)
+  let rec dedup = function
+    | (k1, _) :: ((k2, _) :: _ as rest) when String.equal k1 k2 -> dedup rest
+    | e :: rest -> e :: dedup rest
+    | [] -> []
+  in
+  let entries = Array.of_list (dedup entries) in
+  let keys = Array.map fst entries and values = Array.map snd entries in
+  let xs = Array.map project keys in
+  let seg_x, seg_start, seg_slope = fit ~max_error xs in
+  { keys; values; xs; seg_x; seg_start; seg_slope; max_error }
+
+(* Rightmost segment whose first x is <= x. *)
+let segment_for t x =
+  let lo = ref 0 and hi = ref (Array.length t.seg_x) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if t.seg_x.(mid) <= x then lo := mid else hi := mid
+  done;
+  !lo
+
+(* Predicted position of a key, clamped to the array. *)
+let predict t key =
+  let n = Array.length t.keys in
+  if n = 0 then 0
+  else begin
+    let x = project key in
+    let s = segment_for t x in
+    let y =
+      float_of_int t.seg_start.(s) +. (t.seg_slope.(s) *. (x -. t.seg_x.(s)))
+    in
+    let p = int_of_float y in
+    if p < 0 then 0 else if p >= n then n - 1 else p
+  end
+
+(* Find the leftmost position with keys.(pos) >= key, searching outward from
+   the prediction within the error bound (falling back to widening if the
+   duplicate-projection case drifted further). *)
+let position t key =
+  let n = Array.length t.keys in
+  if n = 0 then None
+  else begin
+    let p = predict t key in
+    let rec bounds lo hi =
+      let lo = max 0 lo and hi = min (n - 1) hi in
+      if (lo = 0 || String.compare t.keys.(lo) key < 0)
+      && (hi = n - 1 || String.compare t.keys.(hi) key > 0) then (lo, hi)
+      else bounds (lo - t.max_error) (hi + t.max_error)
+    in
+    let lo, hi = bounds (p - t.max_error) (p + t.max_error) in
+    (* binary search for the leftmost position >= key in [lo, hi] *)
+    let lo = ref lo and hi = ref (hi + 1) in
+    while !hi - !lo > 0 do
+      let mid = (!lo + !hi) / 2 in
+      if String.compare t.keys.(mid) key < 0 then lo := mid + 1 else hi := mid
+    done;
+    if !lo < n then Some !lo else None
+  end
+
+let get t key =
+  match position t key with
+  | Some p when String.equal t.keys.(p) key -> Some t.values.(p)
+  | _ -> None
+
+let mem t key = get t key <> None
+
+let range t ~lo ~hi =
+  match position t lo with
+  | None -> []
+  | Some start ->
+    let out = ref [] in
+    let i = ref start in
+    let n = Array.length t.keys in
+    while !i < n && String.compare t.keys.(!i) hi <= 0 do
+      out := (t.keys.(!i), t.values.(!i)) :: !out;
+      incr i
+    done;
+    List.rev !out
+
+let iter t f = Array.iteri (fun i k -> f k t.values.(i)) t.keys

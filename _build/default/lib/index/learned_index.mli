@@ -1,0 +1,29 @@
+(** A learned index over a static sorted key set (the paper's section 7.1
+    "learning-based data structure" direction, after Kraska et al. and the
+    FITing-tree): an error-bounded piecewise-linear model predicts each key's
+    position; a short local search finishes the lookup. *)
+
+type 'a t
+
+val build : ?max_error:int -> (string * 'a) list -> 'a t
+(** Fit the model over the entries (sorted internally; later duplicates win).
+    [max_error] (default 32) bounds how far a prediction may sit from the
+    true position of any indexed key. *)
+
+val cardinal : 'a t -> int
+
+val segments : 'a t -> int
+(** Number of linear models fit — the index's entire "inner node" budget. *)
+
+val max_error : 'a t -> int
+
+val predict : 'a t -> string -> int
+(** The model's raw position prediction (clamped); exposed for tests. *)
+
+val get : 'a t -> string -> 'a option
+val mem : 'a t -> string -> bool
+
+val range : 'a t -> lo:string -> hi:string -> (string * 'a) list
+(** Entries with [lo <= key <= hi], in key order. *)
+
+val iter : 'a t -> (string -> 'a -> unit) -> unit

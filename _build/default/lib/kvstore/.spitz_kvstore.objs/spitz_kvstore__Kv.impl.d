@@ -1,0 +1,1 @@
+lib/kvstore/kv.ml: Hash List Object_store Spitz_crypto Spitz_index Spitz_storage

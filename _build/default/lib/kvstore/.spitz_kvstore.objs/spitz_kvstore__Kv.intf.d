@@ -1,0 +1,1 @@
+lib/kvstore/kv.mli: Object_store Spitz_storage

@@ -1,0 +1,73 @@
+open Spitz_crypto
+open Spitz_storage
+
+(* Immutable key-value store on the ForkBase-like substrate (paper
+   section 6.1): values are content-addressed and never overwritten — an
+   update appends a new version to the key's chain — and a B+-tree indexes
+   the latest version of every key. Identical indexing to Spitz, but no
+   ledger and no verifiability: the comparison point that isolates the cost
+   of the ledger. *)
+
+type versions = {
+  mutable chain : (int * Hash.t) list; (* (version, value address), newest first *)
+}
+
+type t = {
+  store : Object_store.t;
+  index : versions Spitz_index.Bptree.t;
+  mutable clock : int;
+}
+
+let create ?store () =
+  let store = match store with Some s -> s | None -> Object_store.create () in
+  { store; index = Spitz_index.Bptree.create (); clock = 0 }
+
+let store t = t.store
+
+let cardinal t = Spitz_index.Bptree.cardinal t.index
+
+let put t key value =
+  t.clock <- t.clock + 1;
+  let h = Object_store.put_blob t.store value in
+  (match Spitz_index.Bptree.get t.index key with
+   | Some v -> v.chain <- (t.clock, h) :: v.chain
+   | None -> Spitz_index.Bptree.insert t.index key { chain = [ (t.clock, h) ] });
+  t.clock
+
+let get t key =
+  match Spitz_index.Bptree.get t.index key with
+  | Some { chain = (_, h) :: _ } -> Object_store.get_blob t.store h
+  | _ -> None
+
+let get_version t key ~version =
+  match Spitz_index.Bptree.get t.index key with
+  | None -> None
+  | Some { chain } ->
+    let rec find = function
+      | [] -> None
+      | (v, h) :: rest -> if v <= version then Object_store.get_blob t.store h else find rest
+    in
+    find chain
+
+let history t key =
+  match Spitz_index.Bptree.get t.index key with
+  | None -> []
+  | Some { chain } ->
+    List.rev_map
+      (fun (v, h) -> (v, Object_store.get_blob_exn t.store h))
+      chain
+
+let range t ~lo ~hi =
+  List.rev
+    (Spitz_index.Bptree.fold_range t.index ~lo ~hi
+       (fun key versions acc ->
+          match versions.chain with
+          | (_, h) :: _ -> (key, Object_store.get_blob_exn t.store h) :: acc
+          | [] -> acc)
+       [])
+
+let iter t f =
+  Spitz_index.Bptree.iter t.index (fun key versions ->
+      match versions.chain with
+      | (_, h) :: _ -> f key (Object_store.get_blob_exn t.store h)
+      | [] -> ())

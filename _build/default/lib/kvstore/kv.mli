@@ -1,0 +1,31 @@
+(** Immutable key-value store on the content-addressed substrate: updates
+    append versions, nothing is overwritten, and a B+-tree indexes the latest
+    version. Same indexing as Spitz but no ledger and no verifiability — the
+    paper's comparison point isolating the ledger's cost. *)
+
+open Spitz_storage
+
+type t
+
+val create : ?store:Object_store.t -> unit -> t
+
+val store : t -> Object_store.t
+
+val cardinal : t -> int
+(** Number of live keys. *)
+
+val put : t -> string -> string -> int
+(** Append a new version; returns its version number (a store-local clock). *)
+
+val get : t -> string -> string option
+(** Latest version. *)
+
+val get_version : t -> string -> version:int -> string option
+(** The value as of [version] (the newest version at or below it). *)
+
+val history : t -> string -> (int * string) list
+(** All versions, oldest first. *)
+
+val range : t -> lo:string -> hi:string -> (string * string) list
+
+val iter : t -> (string -> string -> unit) -> unit

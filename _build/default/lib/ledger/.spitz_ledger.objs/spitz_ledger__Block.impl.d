@@ -1,0 +1,1 @@
+lib/ledger/block.ml: Hash List Printf Spitz_adt Spitz_crypto Spitz_storage Wire

@@ -1,0 +1,1 @@
+lib/ledger/block.mli: Hash Spitz_adt Spitz_crypto

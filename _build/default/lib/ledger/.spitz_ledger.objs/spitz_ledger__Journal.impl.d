@@ -1,0 +1,1 @@
+lib/ledger/journal.ml: Array Block Hash Object_store Spitz_adt Spitz_crypto Spitz_storage

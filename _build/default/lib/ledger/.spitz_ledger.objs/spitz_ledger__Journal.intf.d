@@ -1,0 +1,1 @@
+lib/ledger/journal.mli: Block Hash Spitz_adt Spitz_crypto Spitz_storage

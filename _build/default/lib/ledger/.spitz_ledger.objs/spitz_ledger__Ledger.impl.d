@@ -1,0 +1,1 @@
+lib/ledger/ledger.ml: Array Block Hash Journal List Merkle Merkle_bptree Object_store Option Set Siri Spitz_adt Spitz_crypto Spitz_storage String

@@ -1,0 +1,1 @@
+lib/ledger/ledger.mli: Block Hash Journal Merkle Merkle_bptree Object_store Siri Spitz_adt Spitz_crypto Spitz_storage

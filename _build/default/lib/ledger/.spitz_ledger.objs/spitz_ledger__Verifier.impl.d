@@ -1,0 +1,1 @@
+lib/ledger/verifier.ml: Hashtbl Journal Ledger List Merkle_bptree Siri Spitz_adt Spitz_crypto

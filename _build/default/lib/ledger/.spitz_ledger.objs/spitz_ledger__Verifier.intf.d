@@ -1,0 +1,1 @@
+lib/ledger/verifier.mli: Journal Ledger Merkle Merkle_bptree Siri Spitz_adt

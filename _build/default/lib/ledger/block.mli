@@ -1,0 +1,48 @@
+(** Ledger blocks: one per committed batch, tracking record modifications,
+    the statements that caused them, and the root of the index instance over
+    the entire dataset as of the block. *)
+
+open Spitz_crypto
+
+type op = Insert | Update | Delete
+
+type entry = {
+  op : op;
+  key : string;
+  value_hash : Hash.t;  (** hash of the written value; {!Hash.null} for deletes *)
+  txn_id : int;
+}
+
+type header = {
+  height : int;
+  prev_hash : Hash.t;    (** hash of the previous block header; null for genesis *)
+  entries_root : Hash.t; (** Merkle root over the block's entries *)
+  index_root : Hash.t;   (** root of the SIRI index instance as of this block *)
+  entry_count : int;
+  time : int;            (** logical commit timestamp *)
+}
+
+type t = {
+  header : header;
+  entries : entry list;
+  statements : string list;
+}
+
+val create :
+  height:int -> prev_hash:Hash.t -> index_root:Hash.t -> time:int ->
+  entries:entry list -> statements:string list -> t
+(** Builds the block, computing [entries_root]. *)
+
+val entry_bytes : entry -> string
+(** Canonical serialization of one entry (the Merkle leaf data). *)
+
+val entries_merkle : entry list -> Spitz_adt.Merkle.t
+(** The Merkle tree committing to the block's entries. *)
+
+val header_bytes : header -> string
+val hash_header : header -> Hash.t
+(** The block id: hash of the canonical header bytes. *)
+
+val encode : t -> string
+val decode : string -> t
+(** Raises {!Spitz_storage.Wire.Malformed} on bad input. *)

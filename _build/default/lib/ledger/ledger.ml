@@ -1,0 +1,312 @@
+open Spitz_crypto
+open Spitz_storage
+open Spitz_adt
+
+(* The Spitz ledger: a journal of blocks where each block stores a historical
+   instance of a SIRI index over the entire dataset (paper section 5). The
+   index instances share all untouched nodes (SIRI property), and because the
+   index holds the values themselves, a read's proof is exactly the node path
+   the read already traversed — the "unified index" that gives Spitz its
+   performance edge in section 6.
+
+   Functorized over the SIRI implementation so the ablation benches can run
+   the same ledger over POS-tree, MPT, MBT, or the Merkle B+-tree. *)
+
+(* Values are tagged so a tombstone is distinguishable from any user value. *)
+let tag_value v = "V" ^ v
+let tombstone = "T"
+
+let untag = function
+  | "" -> None
+  | s when s.[0] = 'V' -> Some (String.sub s 1 (String.length s - 1))
+  | s when s.[0] = 'T' -> None
+  | _ -> None
+
+type write = Put of string * string | Delete of string
+
+module Make (Index : Siri.S) = struct
+  type t = {
+    store : Object_store.t;
+    journal : Journal.t;
+    mutable instances : Index.t array; (* index instance per block; slot 0 unused until first commit *)
+    mutable time : int;
+    mutable next_txn : int;
+  }
+
+  let create store =
+    {
+      store;
+      journal = Journal.create store;
+      instances = Array.make 16 (Index.create store);
+      time = 0;
+      next_txn = 0;
+    }
+
+  let store t = t.store
+  let journal t = t.journal
+  let height t = Journal.length t.journal
+  let digest t = Journal.digest t.journal
+
+  let current_index t =
+    let n = Journal.length t.journal in
+    if n = 0 then Index.create t.store else t.instances.(n - 1)
+
+  let index_at t ~height =
+    if height < 0 || height >= Journal.length t.journal then
+      invalid_arg "Ledger.index_at: out of range";
+    t.instances.(height)
+
+  let fresh_txn t =
+    let id = t.next_txn in
+    t.next_txn <- id + 1;
+    id
+
+  (* Commit one batch of writes as a new block; returns the block height. *)
+  let commit t ?(statements = []) writes =
+    let txn_id = fresh_txn t in
+    let index =
+      List.fold_left
+        (fun index w ->
+           match w with
+           | Put (k, v) -> Index.insert index k (tag_value v)
+           | Delete k -> Index.insert index k tombstone)
+        (current_index t) writes
+    in
+    let entries =
+      List.map
+        (fun w ->
+           match w with
+           | Put (k, v) ->
+             { Block.op = Block.Update; key = k; value_hash = Hash.of_string v; txn_id }
+           | Delete k -> { Block.op = Block.Delete; key = k; value_hash = Hash.null; txn_id })
+        writes
+    in
+    let height = Journal.length t.journal in
+    t.time <- t.time + 1;
+    let block =
+      Block.create ~height ~prev_hash:(Journal.head_hash t.journal)
+        ~index_root:(Index.root_digest index) ~time:t.time ~entries ~statements
+    in
+    Journal.append t.journal block;
+    if height >= Array.length t.instances then begin
+      let bigger = Array.make (2 * Array.length t.instances) index in
+      Array.blit t.instances 0 bigger 0 (Array.length t.instances);
+      t.instances <- bigger
+    end;
+    t.instances.(height) <- index;
+    height
+
+  (* --- Reads --- *)
+
+  let get t key =
+    match Index.get (current_index t) key with
+    | None -> None
+    | Some tagged -> untag tagged
+
+  let get_at t ~height key =
+    match Index.get (index_at t ~height) key with
+    | None -> None
+    | Some tagged -> untag tagged
+
+  let range t ~lo ~hi =
+    List.filter_map
+      (fun (k, tagged) -> Option.map (fun v -> (k, v)) (untag tagged))
+      (Index.range (current_index t) ~lo ~hi)
+
+  type read_proof = {
+    rp_height : int;              (* block whose index instance served the read *)
+    rp_header : Block.header;
+    rp_journal : Merkle.inclusion_proof;
+    rp_digest : Journal.digest;   (* journal digest the proof is rooted in *)
+    rp_index : Siri.proof;
+  }
+
+  let proof_envelope t ~height rp_index =
+    {
+      rp_height = height;
+      rp_header = Journal.header t.journal height;
+      rp_journal = Journal.prove_inclusion t.journal height;
+      rp_digest = Journal.digest t.journal;
+      rp_index;
+    }
+
+  let get_with_proof t key =
+    let n = Journal.length t.journal in
+    if n = 0 then (None, None)
+    else begin
+      let height = n - 1 in
+      let tagged, rp_index = Index.get_with_proof t.instances.(height) key in
+      (Option.bind tagged untag, Some (proof_envelope t ~height rp_index))
+    end
+
+  let range_with_proof t ~lo ~hi =
+    let n = Journal.length t.journal in
+    if n = 0 then ([], None)
+    else begin
+      let height = n - 1 in
+      let entries, rp_index = Index.range_with_proof t.instances.(height) ~lo ~hi in
+      let visible =
+        List.filter_map (fun (k, tagged) -> Option.map (fun v -> (k, v)) (untag tagged)) entries
+      in
+      (visible, Some (proof_envelope t ~height rp_index))
+    end
+
+  (* Client side: check the block under the journal digest, then the value
+     under the block's index root. A [None] result must be proven as either
+     absence or a tombstone. *)
+  let verify_read ~digest ~key ~value proof =
+    Journal.verify_inclusion ~digest ~height:proof.rp_height ~header:proof.rp_header
+      proof.rp_journal
+    &&
+    let index_root = proof.rp_header.Block.index_root in
+    (match value with
+     | Some v -> Index.verify_get ~digest:index_root ~key ~value:(Some (tag_value v)) proof.rp_index
+     | None ->
+       Index.verify_get ~digest:index_root ~key ~value:None proof.rp_index
+       || Index.verify_get ~digest:index_root ~key ~value:(Some tombstone) proof.rp_index)
+
+  let verify_range ~digest ~lo ~hi ~entries proof =
+    Journal.verify_inclusion ~digest ~height:proof.rp_height ~header:proof.rp_header
+      proof.rp_journal
+    &&
+    let index_root = proof.rp_header.Block.index_root in
+    (* Recompute the committed (tagged) range contents from the proof, drop
+       tombstones, and require exact equality with the claimed entries — this
+       is sound against both fabricated rows and omissions. *)
+    (match Index.extract_range ~digest:index_root ~lo ~hi proof.rp_index with
+     | None -> false
+     | Some committed ->
+       let visible =
+         List.filter_map (fun (k, tagged) -> Option.map (fun v -> (k, v)) (untag tagged))
+           committed
+       in
+       visible = entries)
+
+  (* --- Write receipts --- *)
+
+  type write_receipt = {
+    wr_height : int;
+    wr_header : Block.header;
+    wr_entry : Block.entry;
+    wr_entry_index : int;
+    wr_entry_proof : Merkle.inclusion_proof;
+    wr_journal : Merkle.inclusion_proof;
+    wr_digest : Journal.digest;
+  }
+
+  let write_receipts t ~height =
+    let block = Journal.block t.journal height in
+    let tree = Block.entries_merkle block.entries in
+    let journal_proof = Journal.prove_inclusion t.journal height in
+    let digest = Journal.digest t.journal in
+    List.mapi
+      (fun i entry ->
+         {
+           wr_height = height;
+           wr_header = block.header;
+           wr_entry = entry;
+           wr_entry_index = i;
+           wr_entry_proof = Merkle.prove_inclusion tree i;
+           wr_journal = journal_proof;
+           wr_digest = digest;
+         })
+      block.entries
+
+  let verify_write ~digest receipt =
+    Journal.verify_inclusion ~digest ~height:receipt.wr_height ~header:receipt.wr_header
+      receipt.wr_journal
+    && Merkle.verify_inclusion
+         ~root:receipt.wr_header.Block.entries_root
+         ~size:receipt.wr_header.Block.entry_count
+         ~index:receipt.wr_entry_index
+         ~leaf:(Hash.leaf (Block.entry_bytes receipt.wr_entry))
+         receipt.wr_entry_proof
+
+  (* --- History --- *)
+
+  (* All committed versions of [key], oldest first, as (height, value option). *)
+  let history t key =
+    let n = Journal.length t.journal in
+    let out = ref [] in
+    for height = n - 1 downto 0 do
+      let block = Journal.block t.journal height in
+      List.iter
+        (fun (e : Block.entry) ->
+           if String.equal e.key key then begin
+             let v = match e.op with Block.Delete -> None | _ -> get_at t ~height key in
+             out := (height, v) :: !out
+           end)
+        block.entries
+    done;
+    !out
+
+  let audit t = Journal.audit_chain t.journal
+
+  (* --- retention --- *)
+
+  (* Mark the content addresses the ledger needs if only the most recent
+     [keep_instances] index versions must stay queryable: every block body
+     (the journal itself is never pruned — it is the audit trail) and every
+     node of the retained instances. Proofs and historical *index* reads
+     older than the horizon become unavailable; historical values remain
+     recoverable from the blocks. *)
+  let mark_live t ~keep_instances visit =
+    let n = Journal.length t.journal in
+    for height = 0 to n - 1 do
+      visit (Journal.body_hash t.journal height)
+    done;
+    let horizon = max 0 (n - keep_instances) in
+    for height = horizon to n - 1 do
+      Index.iter_nodes t.store
+        (Journal.header t.journal height).Block.index_root visit
+    done
+
+  (* --- persistence --- *)
+
+  let body_hashes t =
+    List.init (Journal.length t.journal) (fun h -> Journal.body_hash t.journal h)
+
+  (* Reopen a ledger whose blocks live in [store], given the body hashes in
+     height order. The chain is re-validated on append; index instances are
+     reopened at the roots the block headers commit to; cardinalities are
+     recomputed by replaying each block's entries against the previous
+     instance. *)
+  let restore store bodies =
+    let t = create store in
+    List.iter
+      (fun body ->
+         let block = Block.decode (Object_store.get_exn store body) in
+         let prev = current_index t in
+         let module SS = Set.Make (String) in
+         let keys =
+           SS.elements (SS.of_list (List.map (fun (e : Block.entry) -> e.Block.key) block.entries))
+         in
+         let count =
+           (* a pruned (compacted) previous instance cannot be queried; treat
+              its keys as pre-existing — cardinal is advisory only *)
+           List.fold_left
+             (fun c key ->
+                match Index.get prev key with
+                | None -> c + 1
+                | Some _ -> c
+                | exception Not_found -> c)
+             (Index.cardinal prev) keys
+         in
+         let height = Journal.length t.journal in
+         Journal.append t.journal block;
+         if height >= Array.length t.instances then begin
+           let bigger = Array.make (2 * Array.length t.instances) prev in
+           Array.blit t.instances 0 bigger 0 (Array.length t.instances);
+           t.instances <- bigger
+         end;
+         t.instances.(height) <-
+           Index.at_root store block.Block.header.Block.index_root ~count;
+         t.time <- max t.time block.Block.header.Block.time;
+         List.iter
+           (fun (e : Block.entry) -> t.next_txn <- max t.next_txn (e.Block.txn_id + 1))
+           block.entries)
+      bodies;
+    t
+end
+
+module Default = Make (Merkle_bptree)

@@ -1,0 +1,95 @@
+(** The Spitz ledger: a journal of blocks where each block stores a
+    historical instance of a SIRI index over the entire dataset. Instances
+    share all untouched nodes, and because the index holds the values
+    themselves, a read's proof is exactly the node path the read already
+    traversed — the paper's "unified index".
+
+    Functorized over the SIRI implementation so the same ledger runs over
+    POS-tree, MPT, MBT, or the Merkle B+-tree. *)
+
+open Spitz_crypto
+open Spitz_storage
+open Spitz_adt
+
+type write = Put of string * string | Delete of string
+
+module Make (Index : Siri.S) : sig
+  type t
+
+  val create : Object_store.t -> t
+
+  val store : t -> Object_store.t
+  val journal : t -> Journal.t
+  val height : t -> int
+  (** Number of committed blocks. *)
+
+  val digest : t -> Journal.digest
+
+  val commit : t -> ?statements:string list -> write list -> int
+  (** Commit one batch as a new block holding a fresh index instance;
+      returns the block height. *)
+
+  val get : t -> string -> string option
+  val get_at : t -> height:int -> string -> string option
+  (** Read against the index instance of an older block. Raises [Not_found]
+      if that instance was compacted away. *)
+
+  val range : t -> lo:string -> hi:string -> (string * string) list
+
+  type read_proof = {
+    rp_height : int;            (** block whose index instance served the read *)
+    rp_header : Block.header;
+    rp_journal : Merkle.inclusion_proof;
+    rp_digest : Journal.digest; (** digest the proof is rooted in *)
+    rp_index : Siri.proof;
+  }
+
+  val get_with_proof : t -> string -> string option * read_proof option
+  val range_with_proof :
+    t -> lo:string -> hi:string -> (string * string) list * read_proof option
+
+  val verify_read :
+    digest:Journal.digest -> key:string -> value:string option -> read_proof -> bool
+  (** Client side: block under the digest, then value (or proven absence /
+      tombstone) under the block's index root. *)
+
+  val verify_range :
+    digest:Journal.digest -> lo:string -> hi:string ->
+    entries:(string * string) list -> read_proof -> bool
+  (** Recomputes the committed range from the proof and requires exact
+      equality — sound against omissions, fabrications, substitutions. *)
+
+  type write_receipt = {
+    wr_height : int;
+    wr_header : Block.header;
+    wr_entry : Block.entry;
+    wr_entry_index : int;
+    wr_entry_proof : Merkle.inclusion_proof;
+    wr_journal : Merkle.inclusion_proof;
+    wr_digest : Journal.digest;
+  }
+
+  val write_receipts : t -> height:int -> write_receipt list
+  val verify_write : digest:Journal.digest -> write_receipt -> bool
+
+  val history : t -> string -> (int * string option) list
+  (** Every committed change to a key as (height, value-after), oldest
+      first. *)
+
+  val audit : t -> bool
+
+  val mark_live : t -> keep_instances:int -> (Hash.t -> unit) -> unit
+  (** Compaction mark phase: visit every block body and every node of the
+      newest [keep_instances] index instances. *)
+
+  val body_hashes : t -> Hash.t list
+  (** Content addresses of all encoded blocks, in height order
+      (persistence). *)
+
+  val restore : Object_store.t -> Hash.t list -> t
+  (** Reopen a ledger from its block addresses; re-validates the chain and
+      reopens index instances at the roots the headers commit to. *)
+end
+
+module Default : module type of Make (Merkle_bptree)
+(** The ledger over the Merkle B+-tree — what {!Spitz.Db} uses. *)

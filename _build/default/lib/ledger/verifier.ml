@@ -1,0 +1,111 @@
+open Spitz_adt
+
+(* Client-side verification state (paper section 5.3). The client pins the
+   journal digest locally; every proof is checked against it. Digest
+   advancement requires a consistency proof, so a server that rewrites
+   history is caught even across digest updates.
+
+   Two timing modes: [Online] checks each proof as it arrives (commit only
+   after verification succeeds); [Deferred n] queues proofs and checks them
+   in batches of [n], trading detection latency for throughput — the mode
+   Spitz uses to improve verification throughput. *)
+
+module Make (Index : Siri.S) = struct
+  module L = Ledger.Make (Index)
+
+  type mode = Online | Deferred of int
+
+  type check =
+    | Read of string * string option * L.read_proof
+    | Range of string * string * (string * string) list * L.read_proof
+    | Write of L.write_receipt
+
+  type t = {
+    mode : mode;
+    mutable digest : Journal.digest option; (* trusted pin; None before first sync *)
+    trusted : (Spitz_crypto.Hash.t * int, unit) Hashtbl.t;
+    (* every digest the pin has passed through, each proven an append-only
+       extension of the previous one — a proof anchored in any of them is
+       anchored in the same history the client trusts *)
+    mutable pending : check list;
+    mutable pending_count : int;
+    mutable checked : int;
+    mutable failures : int;
+  }
+
+  let create ?(mode = Online) () =
+    { mode; digest = None; trusted = Hashtbl.create 64; pending = []; pending_count = 0;
+      checked = 0; failures = 0 }
+
+  let digest t = t.digest
+  let checked t = t.checked
+  let failures t = t.failures
+
+  let trust t (d : Journal.digest) = Hashtbl.replace t.trusted (d.Journal.root, d.Journal.size) ()
+
+  let is_trusted t (d : Journal.digest) = Hashtbl.mem t.trusted (d.Journal.root, d.Journal.size)
+
+  (* Pin the first digest, or advance the pin with an append-only proof. *)
+  let sync t ~digest:new_digest ~consistency =
+    match t.digest with
+    | None ->
+      t.digest <- Some new_digest;
+      trust t new_digest;
+      true
+    | Some old_digest ->
+      if Journal.verify_consistency ~old_digest ~new_digest consistency then begin
+        t.digest <- Some new_digest;
+        trust t new_digest;
+        true
+      end
+      else begin
+        t.failures <- t.failures + 1;
+        false
+      end
+
+  (* Proofs anchor in the digest current when they were produced. In deferred
+     mode the pin may have advanced since, so a proof is accepted iff its
+     anchoring digest is one the pin has passed through (hence proven
+     consistent with the current pin). *)
+  let run_check t check =
+    let ok =
+      match t.digest with
+      | None -> false
+      | Some _ ->
+        (match check with
+         | Read (key, value, proof) ->
+           is_trusted t proof.L.rp_digest
+           && L.verify_read ~digest:proof.L.rp_digest ~key ~value proof
+         | Range (lo, hi, entries, proof) ->
+           is_trusted t proof.L.rp_digest
+           && L.verify_range ~digest:proof.L.rp_digest ~lo ~hi ~entries proof
+         | Write receipt ->
+           is_trusted t receipt.L.wr_digest
+           && L.verify_write ~digest:receipt.L.wr_digest receipt)
+    in
+    t.checked <- t.checked + 1;
+    if not ok then t.failures <- t.failures + 1;
+    ok
+
+  let flush t =
+    let checks = List.rev t.pending in
+    t.pending <- [];
+    t.pending_count <- 0;
+    List.fold_left (fun acc c -> run_check t c && acc) true checks
+
+  (* Submit a proof for verification. Returns [Some ok] when verified now
+     (online mode, or a deferred batch just filled), [None] when queued. *)
+  let submit t check =
+    match t.mode with
+    | Online -> Some (run_check t check)
+    | Deferred batch ->
+      t.pending <- check :: t.pending;
+      t.pending_count <- t.pending_count + 1;
+      if t.pending_count >= batch then Some (flush t) else None
+
+  let submit_read t ~key ~value proof = submit t (Read (key, value, proof))
+  let submit_range t ~lo ~hi ~entries proof = submit t (Range (lo, hi, entries, proof))
+  let submit_write t receipt = submit t (Write receipt)
+end
+
+module Default = Make (Merkle_bptree)

@@ -1,0 +1,1 @@
+lib/nonintrusive/combined.ml: Block Ipc Journal Ledger List Object_store Printf Spitz_adt Spitz_kvstore Spitz_ledger Spitz_storage Wire

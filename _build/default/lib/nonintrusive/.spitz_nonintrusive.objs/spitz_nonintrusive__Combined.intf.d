@@ -1,0 +1,1 @@
+lib/nonintrusive/combined.mli: Ipc Spitz_ledger

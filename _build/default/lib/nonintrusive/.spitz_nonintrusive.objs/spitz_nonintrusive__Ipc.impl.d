@@ -1,0 +1,1 @@
+lib/nonintrusive/ipc.ml: Printf Spitz_storage String Wire

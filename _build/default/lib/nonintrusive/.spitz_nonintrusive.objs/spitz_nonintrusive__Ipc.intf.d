@@ -1,0 +1,1 @@
+lib/nonintrusive/ipc.mli: Spitz_storage

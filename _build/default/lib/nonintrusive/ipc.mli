@@ -1,0 +1,33 @@
+(** The cross-system boundary of the non-intrusive design: every interaction
+    pays full request/response marshalling (no artificial sleeps — the
+    modelled cost is the real serialization work a system boundary
+    imposes). *)
+
+type stats = {
+  mutable calls : int;
+  mutable bytes_out : int;
+  mutable bytes_in : int;
+}
+
+type t
+
+val create : unit -> t
+val stats : t -> stats
+
+type request =
+  | Put of string * string
+  | Get of string
+  | Range of string * string
+  | Commit of (string * string) list
+  | Prove of string
+  | ProveRange of string * string
+
+val encode_request : request -> string
+val decode_request : string -> request
+(** Raises {!Spitz_storage.Wire.Malformed} on bad input. *)
+
+val call :
+  t -> request -> serve:(request -> 'resp) ->
+  encode_response:(Spitz_storage.Wire.writer -> 'resp -> unit) ->
+  decode_response:(Spitz_storage.Wire.reader -> 'a) -> 'a
+(** Round-trip a request through full marshalling on both sides. *)

@@ -1,0 +1,1 @@
+lib/storage/chunk.ml: Array Char Int64 List String

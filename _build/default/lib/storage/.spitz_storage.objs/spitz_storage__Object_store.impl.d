@@ -1,0 +1,1 @@
+lib/storage/object_store.ml: Buffer Char Chunk Hash List Option Spitz_crypto String

@@ -1,0 +1,1 @@
+lib/storage/version.ml: Buffer Hash Hashtbl List Object_store Option Printf Spitz_crypto String

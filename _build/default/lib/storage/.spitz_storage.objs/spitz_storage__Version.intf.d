@@ -1,0 +1,1 @@
+lib/storage/version.mli: Hash Object_store Spitz_crypto

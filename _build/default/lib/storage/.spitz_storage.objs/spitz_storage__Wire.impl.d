@@ -1,0 +1,1 @@
+lib/storage/wire.ml: Buffer Char Hash List Spitz_crypto String

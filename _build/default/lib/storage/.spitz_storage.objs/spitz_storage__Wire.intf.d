@@ -1,0 +1,1 @@
+lib/storage/wire.mli: Hash Spitz_crypto

@@ -1,0 +1,65 @@
+(* Content-defined chunking with a buzhash rolling hash.
+
+   Chunk boundaries depend only on local content, so an edit inside a large
+   value re-chunks only the neighbourhood of the edit and every other chunk
+   keeps its identity — this is what gives the ForkBase-style deduplication
+   measured in Figure 1. *)
+
+let default_min = 1 lsl 10 (* 1 KiB *)
+let default_avg = 1 lsl 12 (* 4 KiB: boundary when low 12 bits of hash vanish *)
+let default_max = 1 lsl 14 (* 16 KiB *)
+
+let window = 48
+
+(* splitmix64, used to derive a deterministic byte->random table. *)
+let splitmix64 seed =
+  let z = ref Int64.(add seed 0x9E3779B97F4A7C15L) in
+  z := Int64.(mul (logxor !z (shift_right_logical !z 30)) 0xBF58476D1CE4E5B9L);
+  z := Int64.(mul (logxor !z (shift_right_logical !z 27)) 0x94D049BB133111EBL);
+  Int64.(logxor !z (shift_right_logical !z 31))
+
+let table =
+  Array.init 256 (fun i -> Int64.to_int (splitmix64 (Int64.of_int (i + 1))) land max_int)
+
+let rotl x n = ((x lsl n) lor (x lsr (63 - n))) land max_int
+
+type params = { min_size : int; avg_size : int; max_size : int }
+
+let default_params = { min_size = default_min; avg_size = default_avg; max_size = default_max }
+
+let boundaries ?(params = default_params) data =
+  let n = String.length data in
+  let mask = params.avg_size - 1 in
+  if params.avg_size land mask <> 0 then invalid_arg "Chunk.boundaries: avg_size must be a power of two";
+  let cuts = ref [] in
+  let start = ref 0 in
+  let h = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let byte = Char.code (String.unsafe_get data !i) in
+    h := rotl !h 1 lxor table.(byte);
+    if !i - window >= !start then begin
+      (* remove the byte leaving the window *)
+      let old = Char.code (String.unsafe_get data (!i - window)) in
+      h := !h lxor rotl table.(old) window
+    end;
+    let len = !i - !start + 1 in
+    if (len >= params.min_size && !h land mask = 0) || len >= params.max_size then begin
+      cuts := (!i + 1) :: !cuts;
+      start := !i + 1;
+      h := 0
+    end;
+    incr i
+  done;
+  if !start < n || n = 0 then cuts := n :: !cuts;
+  List.rev !cuts
+
+let split ?params data =
+  let cuts = boundaries ?params data in
+  let rec pieces start = function
+    | [] -> []
+    | cut :: rest -> String.sub data start (cut - start) :: pieces cut rest
+  in
+  match cuts with
+  | [ 0 ] -> [ "" ] (* empty input yields one empty chunk *)
+  | _ -> pieces 0 cuts

@@ -1,0 +1,21 @@
+(** Content-defined chunking (buzhash rolling hash).
+
+    Splits byte strings at content-dependent boundaries so that local edits
+    preserve the identity of all untouched chunks — the mechanism behind
+    ForkBase-style deduplication. *)
+
+type params = {
+  min_size : int;  (** no boundary before this many bytes *)
+  avg_size : int;  (** expected chunk size; must be a power of two *)
+  max_size : int;  (** forced boundary at this many bytes *)
+}
+
+val default_params : params
+(** 1 KiB / 4 KiB / 16 KiB. *)
+
+val boundaries : ?params:params -> string -> int list
+(** End offsets of each chunk, in increasing order; the last element is the
+    input length. The empty string yields [[0]]. *)
+
+val split : ?params:params -> string -> string list
+(** The chunks themselves. [String.concat "" (split s) = s]. *)

@@ -1,0 +1,217 @@
+open Spitz_crypto
+
+type stats = {
+  mutable puts : int;            (* put requests *)
+  mutable gets : int;            (* get requests *)
+  mutable dedup_hits : int;      (* puts that found the object already stored *)
+  mutable physical_bytes : int;  (* bytes of unique stored objects *)
+  mutable logical_bytes : int;   (* bytes as if every put were stored *)
+}
+
+type t = {
+  objects : string Hash.Table.t;
+  refcounts : int Hash.Table.t;
+  stats : stats;
+  chunk_params : Chunk.params;
+}
+
+let create ?(chunk_params = Chunk.default_params) () = {
+  objects = Hash.Table.create 4096;
+  refcounts = Hash.Table.create 4096;
+  stats = { puts = 0; gets = 0; dedup_hits = 0; physical_bytes = 0; logical_bytes = 0 };
+  chunk_params;
+}
+
+let stats t = t.stats
+
+let reset_counters t =
+  t.stats.puts <- 0;
+  t.stats.gets <- 0;
+  t.stats.dedup_hits <- 0
+
+let object_count t = Hash.Table.length t.objects
+
+let put t data =
+  let h = Hash.of_string data in
+  t.stats.puts <- t.stats.puts + 1;
+  t.stats.logical_bytes <- t.stats.logical_bytes + String.length data;
+  (match Hash.Table.find_opt t.refcounts h with
+   | Some n ->
+     t.stats.dedup_hits <- t.stats.dedup_hits + 1;
+     Hash.Table.replace t.refcounts h (n + 1)
+   | None ->
+     Hash.Table.replace t.objects h data;
+     Hash.Table.replace t.refcounts h 1;
+     t.stats.physical_bytes <- t.stats.physical_bytes + String.length data);
+  h
+
+let get t h =
+  t.stats.gets <- t.stats.gets + 1;
+  Hash.Table.find_opt t.objects h
+
+let get_exn t h =
+  match get t h with
+  | Some data -> data
+  | None -> raise Not_found
+
+let mem t h = Hash.Table.mem t.objects h
+
+let release t h =
+  match Hash.Table.find_opt t.refcounts h with
+  | None -> ()
+  | Some 1 ->
+    (match Hash.Table.find_opt t.objects h with
+     | Some data -> t.stats.physical_bytes <- t.stats.physical_bytes - String.length data
+     | None -> ());
+    Hash.Table.remove t.refcounts h;
+    Hash.Table.remove t.objects h
+  | Some n -> Hash.Table.replace t.refcounts h (n - 1)
+
+(* Large values are stored chunked: each chunk is a content-addressed object
+   and the blob itself is a descriptor object listing the chunk hashes. Edits
+   to a large value therefore share all untouched chunks with prior versions. *)
+
+let descriptor_magic = "SPITZBLOB1"
+
+let encode_descriptor hashes =
+  let buf = Buffer.create (String.length descriptor_magic + (List.length hashes * Hash.size)) in
+  Buffer.add_string buf descriptor_magic;
+  List.iter (fun h -> Buffer.add_string buf (Hash.to_raw h)) hashes;
+  Buffer.contents buf
+
+let decode_descriptor data =
+  let prefix_len = String.length descriptor_magic in
+  if String.length data < prefix_len
+  || not (String.equal (String.sub data 0 prefix_len) descriptor_magic) then None
+  else begin
+    let body = String.sub data prefix_len (String.length data - prefix_len) in
+    if String.length body mod Hash.size <> 0 then None
+    else begin
+      let n = String.length body / Hash.size in
+      let hashes = List.init n (fun i -> Hash.of_raw (String.sub body (i * Hash.size) Hash.size)) in
+      Some hashes
+    end
+  end
+
+let looks_like_descriptor data =
+  let prefix_len = String.length descriptor_magic in
+  String.length data >= prefix_len
+  && String.equal (String.sub data 0 prefix_len) descriptor_magic
+
+let put_blob t data =
+  (* Values above the average chunk size are chunked so that local edits
+     share all untouched pieces; values that would be mistaken for a
+     descriptor are also stored via the descriptor path, so decoding stays
+     unambiguous. *)
+  if String.length data <= t.chunk_params.Chunk.avg_size && not (looks_like_descriptor data)
+  then put t data
+  else begin
+    let chunks = Chunk.split ~params:t.chunk_params data in
+    let hashes = List.map (put t) chunks in
+    put t (encode_descriptor hashes)
+  end
+
+let get_blob t h =
+  match get t h with
+  | None -> None
+  | Some data ->
+    (match decode_descriptor data with
+     | None -> Some data
+     | Some hashes ->
+       let buf = Buffer.create 4096 in
+       let ok =
+         List.for_all
+           (fun ch ->
+              match get t ch with
+              | Some chunk -> Buffer.add_string buf chunk; true
+              | None -> false)
+           hashes
+       in
+       if ok then Some (Buffer.contents buf) else None)
+
+let get_blob_exn t h =
+  match get_blob t h with
+  | Some data -> data
+  | None -> raise Not_found
+
+(* Content addresses a blob descriptor references ([] for raw values and
+   unknown addresses) — compaction must keep a blob's chunks alive. *)
+let blob_parts t h =
+  match get t h with
+  | None -> []
+  | Some data -> Option.value ~default:[] (decode_descriptor data)
+
+(* Mark-and-sweep compaction: delete every object not in [live]. Byte gauges
+   are adjusted; refcounts of survivors are untouched. Returns the number of
+   objects deleted. *)
+let sweep t ~live =
+  let victims =
+    Hash.Table.fold (fun h _ acc -> if Hash.Table.mem live h then acc else h :: acc) t.objects []
+  in
+  List.iter
+    (fun h ->
+       (match Hash.Table.find_opt t.objects h with
+        | Some data -> t.stats.physical_bytes <- t.stats.physical_bytes - String.length data
+        | None -> ());
+       Hash.Table.remove t.objects h;
+       Hash.Table.remove t.refcounts h)
+    victims;
+  List.length victims
+
+(* --- persistence: length-prefixed object stream --- *)
+
+let fold t f init =
+  Hash.Table.fold
+    (fun h data acc ->
+       let refcount = Option.value ~default:0 (Hash.Table.find_opt t.refcounts h) in
+       f h data refcount acc)
+    t.objects init
+
+let restore_object t data refcount =
+  let h = Hash.of_string data in
+  if not (Hash.Table.mem t.objects h) then begin
+    Hash.Table.replace t.objects h data;
+    t.stats.physical_bytes <- t.stats.physical_bytes + String.length data
+  end;
+  (* count restored bytes as if they had been written through [put] once per
+     reference, so dedup ratios survive a save/load cycle *)
+  t.stats.logical_bytes <- t.stats.logical_bytes + (String.length data * max 1 refcount);
+  Hash.Table.replace t.refcounts h refcount;
+  h
+
+let write_varint oc n =
+  let rec go n =
+    if n < 0x80 then output_char oc (Char.chr n)
+    else begin
+      output_char oc (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  if n < 0 then invalid_arg "Object_store.write_varint: negative";
+  go n
+
+let read_varint ic =
+  let rec go shift acc =
+    let b = input_byte ic in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let dump t oc =
+  write_varint oc (object_count t);
+  fold t
+    (fun _ data refcount () ->
+       write_varint oc (String.length data);
+       output_string oc data;
+       write_varint oc refcount)
+    ()
+
+let restore t ic =
+  let n = read_varint ic in
+  for _ = 1 to n do
+    let len = read_varint ic in
+    let data = really_input_string ic len in
+    let refcount = read_varint ic in
+    ignore (restore_object t data refcount)
+  done

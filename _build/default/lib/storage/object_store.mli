@@ -1,0 +1,71 @@
+(** Content-addressed, deduplicating object store — the physical layer of the
+    ForkBase-like substrate.
+
+    Every object is stored under its SHA-256 digest; writing the same bytes
+    twice stores them once. Stats track logical vs physical bytes, which is
+    exactly the Figure-1 measurement. *)
+
+open Spitz_crypto
+
+type t
+
+type stats = {
+  mutable puts : int;
+  mutable gets : int;
+  mutable dedup_hits : int;
+  mutable physical_bytes : int;  (** unique bytes actually stored *)
+  mutable logical_bytes : int;   (** bytes as if nothing were deduplicated *)
+}
+
+val create : ?chunk_params:Chunk.params -> unit -> t
+
+val stats : t -> stats
+
+val reset_counters : t -> unit
+(** Zero the operation counters (not the byte gauges). *)
+
+val object_count : t -> int
+
+val put : t -> string -> Hash.t
+(** Store one object (no chunking); returns its content address. Idempotent;
+    repeated puts bump a refcount. *)
+
+val get : t -> Hash.t -> string option
+val get_exn : t -> Hash.t -> string
+
+val mem : t -> Hash.t -> bool
+
+val release : t -> Hash.t -> unit
+(** Drop one reference; the object is removed when its refcount reaches 0. *)
+
+val put_blob : t -> string -> Hash.t
+(** Store a value with content-defined chunking when it exceeds the maximum
+    chunk size: each chunk becomes an object and the returned hash addresses a
+    descriptor listing them. Local edits to large values share all untouched
+    chunks with previously stored versions. *)
+
+val get_blob : t -> Hash.t -> string option
+(** Reassemble a value stored by {!put_blob} (or {!put}). *)
+
+val get_blob_exn : t -> Hash.t -> string
+
+val fold : t -> (Hash.t -> string -> int -> 'a -> 'a) -> 'a -> 'a
+(** Fold over every stored object with its refcount (unspecified order). *)
+
+val blob_parts : t -> Hash.t -> Hash.t list
+(** Chunk addresses referenced by a blob descriptor ([[]] for raw values). *)
+
+val sweep : t -> live:unit Hash.Table.t -> int
+(** Mark-and-sweep compaction: delete every object whose address is not in
+    [live]; returns the number deleted. The caller is responsible for
+    supplying a complete live set. *)
+
+val restore_object : t -> string -> int -> Hash.t
+(** Re-insert one object with an explicit refcount (persistence restore). *)
+
+val dump : t -> out_channel -> unit
+(** Write every object as a length-prefixed stream. *)
+
+val restore : t -> in_channel -> unit
+(** Read a {!dump}ed stream back. Content addresses are recomputed, so a
+    corrupted stream cannot silently alias an existing object. *)

@@ -1,0 +1,120 @@
+open Spitz_crypto
+
+type commit = {
+  parents : Hash.t list;
+  root : Hash.t;          (* content address of this version's data root *)
+  message : string;
+  sequence : int;         (* logical creation order, store-local *)
+}
+
+type t = {
+  store : Object_store.t;
+  commits : commit Hash.Table.t;
+  branches : (string, Hash.t) Hashtbl.t;
+  mutable next_sequence : int;
+}
+
+let create store = {
+  store;
+  commits = Hash.Table.create 256;
+  branches = Hashtbl.create 16;
+  next_sequence = 0;
+}
+
+let encode_commit c =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "commit %d %d %d\n" c.sequence (List.length c.parents) (String.length c.message));
+  List.iter (fun p -> Buffer.add_string buf (Hash.to_raw p)) c.parents;
+  Buffer.add_string buf (Hash.to_raw c.root);
+  Buffer.add_string buf c.message;
+  Buffer.contents buf
+
+let commit t ~parents ~root ~message =
+  let c = { parents; root; message; sequence = t.next_sequence } in
+  t.next_sequence <- t.next_sequence + 1;
+  let h = Object_store.put t.store (encode_commit c) in
+  if not (Hash.Table.mem t.commits h) then Hash.Table.replace t.commits h c;
+  h
+
+let find t h = Hash.Table.find_opt t.commits h
+
+let find_exn t h =
+  match find t h with
+  | Some c -> c
+  | None -> raise Not_found
+
+let branch_head t name = Hashtbl.find_opt t.branches name
+
+let set_branch t name h =
+  if not (Hash.Table.mem t.commits h) then invalid_arg "Version.set_branch: unknown commit";
+  Hashtbl.replace t.branches name h
+
+let branches t = Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.branches []
+
+let commit_on_branch t ~branch ~root ~message =
+  let parents = match branch_head t branch with Some h -> [ h ] | None -> [] in
+  let h = commit t ~parents ~root ~message in
+  Hashtbl.replace t.branches branch h;
+  h
+
+(* Walk first-parent history from [h], newest first. *)
+let history t h =
+  let rec loop acc h =
+    match find t h with
+    | None -> List.rev acc
+    | Some c ->
+      let acc = (h, c) :: acc in
+      (match c.parents with
+       | [] -> List.rev acc
+       | parent :: _ -> loop acc parent)
+  in
+  loop [] h
+
+let is_ancestor t ~ancestor ~descendant =
+  let seen = Hash.Table.create 64 in
+  let rec loop frontier =
+    match frontier with
+    | [] -> false
+    | h :: rest ->
+      if Hash.equal h ancestor then true
+      else if Hash.Table.mem seen h then loop rest
+      else begin
+        Hash.Table.replace seen h ();
+        match find t h with
+        | None -> loop rest
+        | Some c -> loop (c.parents @ rest)
+      end
+  in
+  loop [ descendant ]
+
+(* Lowest common ancestor by breadth-first ancestor-set intersection; ties
+   broken by highest sequence number (most recent). *)
+let lca t a b =
+  let ancestors h =
+    let seen = Hash.Table.create 64 in
+    let rec loop = function
+      | [] -> seen
+      | h :: rest ->
+        if Hash.Table.mem seen h then loop rest
+        else begin
+          Hash.Table.replace seen h ();
+          match find t h with
+          | None -> loop rest
+          | Some c -> loop (c.parents @ rest)
+        end
+    in
+    loop [ h ]
+  in
+  let of_a = ancestors a in
+  let best = ref None in
+  Hash.Table.iter
+    (fun h () ->
+       if Hash.Table.mem of_a h then
+         match find t h with
+         | None -> ()
+         | Some c ->
+           (match !best with
+            | Some (_, s) when s >= c.sequence -> ()
+            | _ -> best := Some (h, c.sequence)))
+    (ancestors b);
+  Option.map fst !best

@@ -1,0 +1,36 @@
+(** Git-like version management over the object store: a DAG of commits with
+    named branches — the ForkBase branch/version substrate. *)
+
+open Spitz_crypto
+
+type commit = {
+  parents : Hash.t list;
+  root : Hash.t;    (** content address of the version's data root *)
+  message : string;
+  sequence : int;   (** store-local logical creation order *)
+}
+
+type t
+
+val create : Object_store.t -> t
+
+val commit : t -> parents:Hash.t list -> root:Hash.t -> message:string -> Hash.t
+(** Record a commit object in the store; returns its content address. *)
+
+val commit_on_branch : t -> branch:string -> root:Hash.t -> message:string -> Hash.t
+(** Commit with the branch head (if any) as parent and advance the branch. *)
+
+val find : t -> Hash.t -> commit option
+val find_exn : t -> Hash.t -> commit
+
+val branch_head : t -> string -> Hash.t option
+val set_branch : t -> string -> Hash.t -> unit
+val branches : t -> (string * Hash.t) list
+
+val history : t -> Hash.t -> (Hash.t * commit) list
+(** First-parent history starting at the given commit, newest first. *)
+
+val is_ancestor : t -> ancestor:Hash.t -> descendant:Hash.t -> bool
+
+val lca : t -> Hash.t -> Hash.t -> Hash.t option
+(** Lowest common ancestor (most recent commit reachable from both). *)

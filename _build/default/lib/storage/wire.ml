@@ -1,0 +1,78 @@
+(* Minimal length-prefixed binary encoding shared by every serialized node
+   format (ADT nodes, ledger blocks, commits). Deterministic by construction,
+   which matters because node identity is the hash of these bytes. *)
+
+open Spitz_crypto
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+
+let contents = Buffer.contents
+
+let write_varint buf n =
+  if n < 0 then invalid_arg "Wire.write_varint: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let write_string buf s =
+  write_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let write_hash buf h = Buffer.add_string buf (Hash.to_raw h)
+
+let write_list buf write_item items =
+  write_varint buf (List.length items);
+  List.iter (write_item buf) items
+
+type reader = { data : string; mutable pos : int }
+
+exception Malformed of string
+
+let reader data = { data; pos = 0 }
+
+let at_end r = r.pos >= String.length r.data
+
+let read_varint r =
+  let rec go shift acc =
+    if shift > 62 then raise (Malformed "varint: overflow");
+    if r.pos >= String.length r.data then raise (Malformed "varint: truncated");
+    let b = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  let n = go 0 0 in
+  if n < 0 then raise (Malformed "varint: overflow");
+  n
+
+let read_string r =
+  let len = read_varint r in
+  if len < 0 || len > String.length r.data - r.pos then raise (Malformed "string: truncated");
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let read_hash r =
+  if r.pos + Hash.size > String.length r.data then raise (Malformed "hash: truncated");
+  let s = String.sub r.data r.pos Hash.size in
+  r.pos <- r.pos + Hash.size;
+  Hash.of_raw s
+
+let read_list r read_item =
+  let n = read_varint r in
+  List.init n (fun _ -> read_item r)
+
+let read_byte r =
+  if r.pos >= String.length r.data then raise (Malformed "byte: truncated");
+  let c = r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let write_byte buf c = Buffer.add_char buf c

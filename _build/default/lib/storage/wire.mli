@@ -1,0 +1,31 @@
+(** Deterministic length-prefixed binary encoding for serialized nodes.
+
+    Node identity throughout the system is the SHA-256 of these bytes, so the
+    encoding must be canonical: same logical content, same bytes. *)
+
+open Spitz_crypto
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> string
+
+val write_varint : writer -> int -> unit
+val write_string : writer -> string -> unit
+val write_hash : writer -> Hash.t -> unit
+val write_byte : writer -> char -> unit
+val write_list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+
+type reader
+
+exception Malformed of string
+(** Raised by all [read_*] functions on truncated or invalid input. *)
+
+val reader : string -> reader
+val at_end : reader -> bool
+
+val read_varint : reader -> int
+val read_string : reader -> string
+val read_hash : reader -> Hash.t
+val read_byte : reader -> char
+val read_list : reader -> (reader -> 'a) -> 'a list

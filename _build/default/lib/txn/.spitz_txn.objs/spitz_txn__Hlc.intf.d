@@ -1,0 +1,1 @@
+lib/txn/hlc.mli: Format

@@ -1,0 +1,1 @@
+lib/txn/occ.ml: Hashtbl Int List Mvcc

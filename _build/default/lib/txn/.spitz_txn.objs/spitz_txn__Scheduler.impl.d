@@ -1,0 +1,1 @@
+lib/txn/scheduler.ml: Array Hashtbl List Lock_manager Mvcc Occ Option Queue String Timestamp

@@ -1,0 +1,1 @@
+lib/txn/timestamp.mli:

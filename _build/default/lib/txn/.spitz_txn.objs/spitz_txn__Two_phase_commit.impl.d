@@ -1,0 +1,1 @@
+lib/txn/two_phase_commit.ml: Array Hashtbl Hlc Int List Lock_manager Mvcc Printf String Timestamp

@@ -1,0 +1,1 @@
+lib/txn/two_phase_commit.mli: Hlc Lock_manager Mvcc Stdlib

@@ -1,0 +1,56 @@
+(* Hybrid logical clocks [Kulkarni et al. 2014]: per-node timestamp
+   allocation that stays close to physical time while preserving causality —
+   the paper's answer to the timestamp-oracle bottleneck (section 5.2). *)
+
+type timestamp = { wall : int; logical : int }
+
+let compare a b =
+  match Int.compare a.wall b.wall with
+  | 0 -> Int.compare a.logical b.logical
+  | c -> c
+
+let equal a b = compare a b = 0
+
+type t = {
+  node_id : int;
+  clock : unit -> int;    (* physical clock source *)
+  mutable last : timestamp;
+}
+
+let create ?(clock = fun () -> 0) ~node_id () =
+  { node_id; clock; last = { wall = 0; logical = 0 } }
+
+let node_id t = t.node_id
+
+(* Local event or message send. *)
+let now t =
+  let pt = t.clock () in
+  let next =
+    if pt > t.last.wall then { wall = pt; logical = 0 }
+    else { wall = t.last.wall; logical = t.last.logical + 1 }
+  in
+  t.last <- next;
+  next
+
+(* Message receive: advance past both the local clock and the sender. *)
+let update t remote =
+  let pt = t.clock () in
+  let next =
+    if pt > t.last.wall && pt > remote.wall then { wall = pt; logical = 0 }
+    else if remote.wall > t.last.wall then { wall = remote.wall; logical = remote.logical + 1 }
+    else if t.last.wall > remote.wall then { wall = t.last.wall; logical = t.last.logical + 1 }
+    else { wall = t.last.wall; logical = 1 + max t.last.logical remote.logical }
+  in
+  t.last <- next;
+  next
+
+let last t = t.last
+
+(* Total order: (wall, logical, node_id) — node id breaks exact ties so two
+   nodes never produce equal commit timestamps. *)
+let compare_total a node_a b node_b =
+  match compare a b with
+  | 0 -> Int.compare node_a node_b
+  | c -> c
+
+let pp fmt ts = Format.fprintf fmt "%d.%d" ts.wall ts.logical

@@ -1,0 +1,29 @@
+(** Hybrid logical clocks: decentralized timestamp allocation that preserves
+    causality — the alternative to a global timestamp oracle. *)
+
+type timestamp = { wall : int; logical : int }
+
+val compare : timestamp -> timestamp -> int
+val equal : timestamp -> timestamp -> bool
+
+type t
+
+val create : ?clock:(unit -> int) -> node_id:int -> unit -> t
+(** [clock] is the physical time source (defaults to a constant, making the
+    HLC purely logical — fine for tests and simulations). *)
+
+val node_id : t -> int
+
+val now : t -> timestamp
+(** Timestamp for a local event or message send. Strictly increasing. *)
+
+val update : t -> timestamp -> timestamp
+(** Timestamp for a message receive carrying the sender's timestamp; advances
+    past both clocks. *)
+
+val last : t -> timestamp
+
+val compare_total : timestamp -> int -> timestamp -> int -> int
+(** [(ts, node_id)] lexicographic order — a total order across nodes. *)
+
+val pp : Format.formatter -> timestamp -> unit

@@ -1,0 +1,78 @@
+(* Two-phase-locking lock table with wait-die deadlock avoidance: an older
+   transaction (smaller timestamp) waits for a younger lock holder; a younger
+   requester dies (aborts) instead of waiting, so no cycle can form. *)
+
+type mode = Shared | Exclusive
+
+type holder = { txn : int; mode : mode }
+
+type decision = Granted | Must_wait | Must_abort
+
+type t = {
+  locks : (string, holder list ref) Hashtbl.t;
+  held : (int, string list ref) Hashtbl.t; (* txn -> keys it holds *)
+}
+
+let create () = { locks = Hashtbl.create 256; held = Hashtbl.create 64 }
+
+let holders t key =
+  match Hashtbl.find_opt t.locks key with
+  | None -> []
+  | Some l -> !l
+
+let compatible requested holders txn =
+  List.for_all
+    (fun h ->
+       h.txn = txn
+       || (match (requested, h.mode) with
+           | Shared, Shared -> true
+           | _ -> false))
+    holders
+
+let note_held t txn key =
+  match Hashtbl.find_opt t.held txn with
+  | None -> Hashtbl.replace t.held txn (ref [ key ])
+  | Some l -> if not (List.mem key !l) then l := key :: !l
+
+(* Wait-die: the requester waits only if it is older (smaller timestamp) than
+   every conflicting holder; otherwise it must abort. *)
+let acquire t ~txn ~mode key =
+  let current = holders t key in
+  if compatible mode current txn then begin
+    let upgraded =
+      match mode with
+      | Exclusive ->
+        { txn; mode = Exclusive } :: List.filter (fun h -> h.txn <> txn) current
+      | Shared ->
+        if List.exists (fun h -> h.txn = txn) current then current
+        else { txn; mode = Shared } :: current
+    in
+    Hashtbl.replace t.locks key (ref upgraded);
+    note_held t txn key;
+    Granted
+  end
+  else begin
+    let conflicting = List.filter (fun h -> h.txn <> txn) current in
+    if List.for_all (fun h -> txn < h.txn) conflicting then Must_wait else Must_abort
+  end
+
+let release_all t ~txn =
+  (match Hashtbl.find_opt t.held txn with
+   | None -> ()
+   | Some keys ->
+     List.iter
+       (fun key ->
+          match Hashtbl.find_opt t.locks key with
+          | None -> ()
+          | Some l ->
+            l := List.filter (fun h -> h.txn <> txn) !l;
+            if !l = [] then Hashtbl.remove t.locks key)
+       !keys);
+  Hashtbl.remove t.held txn
+
+let held_by t ~txn =
+  match Hashtbl.find_opt t.held txn with
+  | None -> []
+  | Some l -> !l
+
+let lock_count t = Hashtbl.length t.locks

@@ -1,0 +1,23 @@
+(** Two-phase-locking lock table with wait-die deadlock avoidance. Transaction
+    ids double as age: smaller id = older transaction. *)
+
+type mode = Shared | Exclusive
+
+type decision = Granted | Must_wait | Must_abort
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> txn:int -> mode:mode -> string -> decision
+(** Request a lock. [Granted] also covers re-entrant and upgrade requests.
+    Under wait-die, an older requester gets [Must_wait]; a younger one gets
+    [Must_abort]. *)
+
+val release_all : t -> txn:int -> unit
+(** Release every lock the transaction holds (commit or abort). *)
+
+val held_by : t -> txn:int -> string list
+
+val lock_count : t -> int
+(** Number of keys currently locked. *)

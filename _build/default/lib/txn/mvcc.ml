@@ -1,0 +1,82 @@
+(* Multi-version value store: every cell keeps its full version history, so
+   readers at a snapshot never block writers (paper section 5.2: cells in
+   Spitz are multi-versioned, making MVCC-family concurrency control the
+   natural fit). *)
+
+type 'v version = {
+  ts : int;            (* commit timestamp *)
+  value : 'v option;   (* None = tombstone *)
+}
+
+type 'v t = {
+  table : (string, 'v version list ref) Hashtbl.t; (* newest first *)
+  mutable max_ts : int;
+}
+
+let create () = { table = Hashtbl.create 1024; max_ts = 0 }
+
+let versions t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> []
+  | Some l -> !l
+
+(* Latest version with commit timestamp <= ts. *)
+let read t key ~ts =
+  let rec find = function
+    | [] -> None
+    | v :: rest -> if v.ts <= ts then Some v else find rest
+  in
+  find (versions t key)
+
+let read_value t key ~ts = Option.bind (read t key ~ts) (fun v -> v.value)
+
+let read_latest t key =
+  match versions t key with
+  | [] -> None
+  | v :: _ -> v.value
+
+(* Timestamp of the newest version (0 if none) — what write-conflict checks
+   compare against. *)
+let latest_ts t key =
+  match versions t key with
+  | [] -> 0
+  | v :: _ -> v.ts
+
+let write t key ~ts value =
+  t.max_ts <- max t.max_ts ts;
+  match Hashtbl.find_opt t.table key with
+  | None -> Hashtbl.replace t.table key (ref [ { ts; value } ])
+  | Some l ->
+    (* insert in descending ts order; equal ts overwrites *)
+    let rec place = function
+      | [] -> [ { ts; value } ]
+      | v :: rest as all ->
+        if ts > v.ts then { ts; value } :: all
+        else if ts = v.ts then { ts; value } :: rest
+        else v :: place rest
+    in
+    l := place !l
+
+let max_ts t = t.max_ts
+
+let cardinal t = Hashtbl.length t.table
+
+(* Drop versions older than [before], keeping at least the newest one at or
+   below it (still needed by snapshots >= before). *)
+let gc t ~before =
+  Hashtbl.iter
+    (fun _ l ->
+       let rec keep = function
+         | [] -> []
+         | v :: rest -> if v.ts <= before then [ v ] else v :: keep rest
+       in
+       l := keep !l)
+    t.table
+
+let iter_latest t f =
+  Hashtbl.iter
+    (fun key l ->
+       match !l with
+       | { value = Some v; _ } :: _ -> f key v
+       | _ -> ())
+    t.table

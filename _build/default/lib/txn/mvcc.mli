@@ -1,0 +1,32 @@
+(** Multi-version value store: full version history per key, snapshot reads
+    that never block writers. *)
+
+type 'v version = { ts : int; value : 'v option }
+
+type 'v t
+
+val create : unit -> 'v t
+
+val write : 'v t -> string -> ts:int -> 'v option -> unit
+(** Install a version at commit timestamp [ts] ([None] = tombstone). Equal
+    timestamps overwrite. *)
+
+val read : 'v t -> string -> ts:int -> 'v version option
+(** Latest version with commit timestamp [<= ts]. *)
+
+val read_value : 'v t -> string -> ts:int -> 'v option
+val read_latest : 'v t -> string -> 'v option
+
+val latest_ts : 'v t -> string -> int
+(** Commit timestamp of the newest version; 0 if the key has none. *)
+
+val versions : 'v t -> string -> 'v version list
+(** All versions, newest first. *)
+
+val max_ts : 'v t -> int
+val cardinal : 'v t -> int
+
+val gc : 'v t -> before:int -> unit
+(** Drop versions no snapshot at or after [before] can observe. *)
+
+val iter_latest : 'v t -> (string -> 'v -> unit) -> unit

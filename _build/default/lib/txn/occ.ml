@@ -1,0 +1,49 @@
+(* Optimistic concurrency control validation over read/write sets, with the
+   batched variant the paper cites ([20]): validating a batch at once lets
+   non-conflicting transactions share one validation pass. *)
+
+type footprint = {
+  txn : int;
+  start_ts : int;
+  reads : (string * int) list;  (* key, version ts observed *)
+  writes : string list;
+}
+
+type verdict = Commit of int (* commit ts *) | Abort
+
+(* Backward validation against the committed history in [store]: a
+   transaction commits iff every version it read is still the latest below
+   its commit point and none of its writes were overwritten since start. *)
+let validate (store : 'v Mvcc.t) ~commit_ts fp =
+  let reads_ok =
+    List.for_all (fun (key, seen_ts) -> Mvcc.latest_ts store key = seen_ts) fp.reads
+  in
+  let writes_ok =
+    List.for_all (fun key -> Mvcc.latest_ts store key <= fp.start_ts) fp.writes
+  in
+  if reads_ok && writes_ok then Commit commit_ts else Abort
+
+(* Batched validation: order the batch by start timestamp, validate each
+   against the store *and* the writes of transactions already accepted in the
+   batch, then apply accepted writes together. Returns per-footprint
+   verdicts in input order. *)
+let validate_batch (store : 'v Mvcc.t) ~next_ts (fps : footprint list) =
+  let accepted_writes = Hashtbl.create 16 in (* key -> () *)
+  let ordered = List.stable_sort (fun a b -> Int.compare a.start_ts b.start_ts) fps in
+  let verdicts = Hashtbl.create 16 in
+  List.iter
+    (fun fp ->
+       let clash_in_batch =
+         List.exists (fun (key, _) -> Hashtbl.mem accepted_writes key) fp.reads
+         || List.exists (fun key -> Hashtbl.mem accepted_writes key) fp.writes
+       in
+       let verdict =
+         if clash_in_batch then Abort
+         else validate store ~commit_ts:(next_ts ()) fp
+       in
+       (match verdict with
+        | Commit _ -> List.iter (fun key -> Hashtbl.replace accepted_writes key ()) fp.writes
+        | Abort -> ());
+       Hashtbl.replace verdicts fp.txn verdict)
+    ordered;
+  List.map (fun fp -> Hashtbl.find verdicts fp.txn) fps

@@ -1,0 +1,19 @@
+(** Optimistic concurrency control: backward validation of read/write
+    footprints, with a batched variant that amortizes validation cost. *)
+
+type footprint = {
+  txn : int;
+  start_ts : int;
+  reads : (string * int) list; (** (key, version timestamp observed) *)
+  writes : string list;
+}
+
+type verdict = Commit of int | Abort
+
+val validate : 'v Mvcc.t -> commit_ts:int -> footprint -> verdict
+(** Single-transaction backward validation against committed state. *)
+
+val validate_batch : 'v Mvcc.t -> next_ts:(unit -> int) -> footprint list -> verdict list
+(** Validate a batch in one pass (ordered by start timestamp, intra-batch
+    conflicts abort). Verdicts are returned in input order. Accepted
+    transactions receive distinct commit timestamps from [next_ts]. *)

@@ -1,0 +1,305 @@
+(* Interleaved transaction executor over the MVCC store, implementing the
+   three concurrency-control schemes the paper considers for Spitz
+   (section 5.2): MVCC with timestamp ordering, MVCC with OCC validation, and
+   MVCC with two-phase locking. Transactions are executed as a deterministic
+   (seeded) interleaving of their operations, so contention behaviour —
+   waits, aborts, restarts — is reproducible.
+
+   Also exercises the flexible-isolation argument of section 3.3: engines
+   accept [Serializable] or [Read_committed], the latter skipping read
+   validation/locking so read-mostly analytics do not abort on conflicts. *)
+
+type op =
+  | Read of string
+  | Write of string * string
+  | Rmw of string * (string option -> string) (* read-modify-write *)
+
+type txn_spec = op list
+
+type engine = Mvcc_to | Mvcc_occ | Two_pl
+
+let engine_name = function
+  | Mvcc_to -> "mvcc-to"
+  | Mvcc_occ -> "mvcc-occ"
+  | Two_pl -> "mvcc-2pl"
+
+type isolation = Serializable | Read_committed
+
+type stats = {
+  committed : int;
+  aborted : int;   (* abort events (each restart re-runs the transaction) *)
+  waits : int;     (* scheduling slots spent blocked on a lock *)
+  ops : int;       (* operations executed, including re-executions *)
+}
+
+(* Per-attempt state of one transaction. *)
+type attempt = {
+  spec : txn_spec;
+  mutable remaining : op list;
+  mutable start_ts : int;
+  mutable reads : (string * int) list;
+  mutable writes : (string * string) list; (* buffered until commit *)
+  priority : int; (* fixed across restarts: wait-die age *)
+}
+
+type outcome = Progress | Blocked | Aborted | Committed
+
+let buffered_read attempt key =
+  let rec find = function
+    | [] -> None
+    | (k, v) :: rest -> if String.equal k key then Some v else find rest
+  in
+  find attempt.writes
+
+let record_read attempt key ts =
+  if not (List.mem_assoc key attempt.reads) then attempt.reads <- (key, ts) :: attempt.reads
+
+let buffer_write attempt key value =
+  attempt.writes <- (key, value) :: List.remove_assoc key attempt.writes
+
+type 'ctx runtime = {
+  step : 'ctx -> attempt -> op -> outcome;    (* execute one operation *)
+  finish : 'ctx -> attempt -> outcome;        (* commit attempt *)
+  cleanup : 'ctx -> attempt -> unit;          (* on abort *)
+}
+
+(* --- MVCC + timestamp ordering --- *)
+
+type to_ctx = {
+  to_store : string Mvcc.t;
+  to_oracle : Timestamp.t;
+  to_rts : (string, int) Hashtbl.t; (* per-key max read timestamp *)
+  to_isolation : isolation;
+}
+
+let to_runtime =
+  let read_key ctx attempt key =
+    match buffered_read attempt key with
+    | Some v -> Some v
+    | None ->
+      (match ctx.to_isolation with
+       | Read_committed -> Mvcc.read_value ctx.to_store key ~ts:max_int
+       | Serializable ->
+         let rts = Hashtbl.find_opt ctx.to_rts key |> Option.value ~default:0 in
+         if attempt.start_ts > rts then Hashtbl.replace ctx.to_rts key attempt.start_ts;
+         Mvcc.read_value ctx.to_store key ~ts:attempt.start_ts)
+  in
+  let write_allowed ctx attempt key =
+    (* T/O rule: a write at ts must not invalidate a read by a younger
+       transaction, nor precede an already-committed newer version. *)
+    let rts = Hashtbl.find_opt ctx.to_rts key |> Option.value ~default:0 in
+    attempt.start_ts >= rts && Mvcc.latest_ts ctx.to_store key <= attempt.start_ts
+  in
+  let step ctx attempt op =
+    match op with
+    | Read key -> ignore (read_key ctx attempt key); Progress
+    | Write (key, value) ->
+      if write_allowed ctx attempt key then begin
+        buffer_write attempt key value;
+        Progress
+      end
+      else Aborted
+    | Rmw (key, f) ->
+      let v = read_key ctx attempt key in
+      if write_allowed ctx attempt key then begin
+        buffer_write attempt key (f v);
+        Progress
+      end
+      else Aborted
+  in
+  let finish ctx attempt =
+    (* Re-check write rules at commit (a younger reader may have appeared). *)
+    let ok =
+      List.for_all (fun (key, _) -> write_allowed ctx attempt key) attempt.writes
+    in
+    if ok then begin
+      List.iter
+        (fun (key, value) -> Mvcc.write ctx.to_store key ~ts:attempt.start_ts (Some value))
+        attempt.writes;
+      Committed
+    end
+    else Aborted
+  in
+  { step; finish; cleanup = (fun _ _ -> ()) }
+
+(* --- MVCC + OCC --- *)
+
+type occ_ctx = {
+  occ_store : string Mvcc.t;
+  occ_oracle : Timestamp.t;
+  occ_isolation : isolation;
+}
+
+let occ_runtime =
+  let step ctx attempt op =
+    let read key =
+      match buffered_read attempt key with
+      | Some v -> Some v
+      | None ->
+        (match ctx.occ_isolation with
+         | Read_committed -> Mvcc.read_value ctx.occ_store key ~ts:max_int
+         | Serializable ->
+           let version = Mvcc.read ctx.occ_store key ~ts:attempt.start_ts in
+           let seen_ts = match version with Some v -> v.Mvcc.ts | None -> 0 in
+           record_read attempt key seen_ts;
+           Option.bind version (fun v -> v.Mvcc.value))
+    in
+    match op with
+    | Read key -> ignore (read key); Progress
+    | Write (key, value) -> buffer_write attempt key value; Progress
+    | Rmw (key, f) ->
+      let v = read key in
+      buffer_write attempt key (f v);
+      Progress
+  in
+  let finish ctx attempt =
+    let fp =
+      {
+        Occ.txn = attempt.priority;
+        start_ts = attempt.start_ts;
+        reads = attempt.reads;
+        writes = List.map fst attempt.writes;
+      }
+    in
+    match Occ.validate ctx.occ_store ~commit_ts:(Timestamp.next ctx.occ_oracle) fp with
+    | Occ.Commit commit_ts ->
+      List.iter
+        (fun (key, value) -> Mvcc.write ctx.occ_store key ~ts:commit_ts (Some value))
+        attempt.writes;
+      Committed
+    | Occ.Abort -> Aborted
+  in
+  { step; finish; cleanup = (fun _ _ -> ()) }
+
+(* --- MVCC + 2PL (wait-die) --- *)
+
+type pl_ctx = {
+  pl_store : string Mvcc.t;
+  pl_oracle : Timestamp.t;
+  pl_locks : Lock_manager.t;
+  pl_isolation : isolation;
+}
+
+let pl_runtime =
+  let with_lock ctx attempt ~mode key k =
+    match Lock_manager.acquire ctx.pl_locks ~txn:attempt.priority ~mode key with
+    | Lock_manager.Granted -> k ()
+    | Lock_manager.Must_wait -> Blocked
+    | Lock_manager.Must_abort -> Aborted
+  in
+  let read ctx attempt key =
+    match buffered_read attempt key with
+    | Some v -> Some v
+    | None -> Mvcc.read_value ctx.pl_store key ~ts:max_int
+  in
+  let step ctx attempt op =
+    match op with
+    | Read key ->
+      (match ctx.pl_isolation with
+       | Read_committed -> ignore (read ctx attempt key); Progress
+       | Serializable ->
+         with_lock ctx attempt ~mode:Lock_manager.Shared key (fun () ->
+             ignore (read ctx attempt key);
+             Progress))
+    | Write (key, value) ->
+      with_lock ctx attempt ~mode:Lock_manager.Exclusive key (fun () ->
+          buffer_write attempt key value;
+          Progress)
+    | Rmw (key, f) ->
+      with_lock ctx attempt ~mode:Lock_manager.Exclusive key (fun () ->
+          buffer_write attempt key (f (read ctx attempt key));
+          Progress)
+  in
+  let finish ctx attempt =
+    let commit_ts = Timestamp.next ctx.pl_oracle in
+    List.iter
+      (fun (key, value) -> Mvcc.write ctx.pl_store key ~ts:commit_ts (Some value))
+      attempt.writes;
+    Lock_manager.release_all ctx.pl_locks ~txn:attempt.priority;
+    Committed
+  in
+  let cleanup ctx attempt = Lock_manager.release_all ctx.pl_locks ~txn:attempt.priority in
+  { step; finish; cleanup }
+
+(* --- Interleaved execution --- *)
+
+let xorshift state =
+  let x = !state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = (x lxor (x lsl 17)) land max_int in
+  state := (if x = 0 then 1 else x);
+  x
+
+(* Interleave operations of up to [concurrency] in-flight transactions (a
+   worker pool, as a real processor node would run); the rest queue behind
+   them. Unbounded concurrency under contention livelocks timestamp ordering
+   — every in-flight reader keeps bumping the hot key's read timestamp — and
+   no real engine runs thousands of simultaneous interactive transactions. *)
+let run_generic (type ctx) (rt : ctx runtime) (ctx : ctx) ~oracle ~seed ~concurrency specs =
+  let rng = ref (if seed = 0 then 1 else seed) in
+  let stats = ref { committed = 0; aborted = 0; waits = 0; ops = 0 } in
+  let fresh priority spec =
+    { spec; remaining = spec; start_ts = Timestamp.next oracle;
+      reads = []; writes = []; priority }
+  in
+  let pending = Queue.create () in
+  List.iteri (fun i spec -> Queue.add (i, spec) pending) specs;
+  let slots = max 1 (min concurrency (List.length specs)) in
+  let active = Array.make slots None in
+  let live = ref 0 in
+  let refill slot =
+    if not (Queue.is_empty pending) then begin
+      let priority, spec = Queue.pop pending in
+      active.(slot) <- Some (fresh priority spec);
+      incr live
+    end
+  in
+  Array.iteri (fun slot _ -> refill slot) active;
+  let restart slot attempt =
+    stats := { !stats with aborted = !stats.aborted + 1 };
+    rt.cleanup ctx attempt;
+    active.(slot) <- Some (fresh attempt.priority attempt.spec)
+  in
+  while !live > 0 do
+    (* pick a random live slot *)
+    let slot = ref (xorshift rng mod slots) in
+    while active.(!slot) = None do
+      slot := (!slot + 1) mod slots
+    done;
+    let slot = !slot in
+    (match active.(slot) with
+     | None -> ()
+     | Some attempt ->
+       (match attempt.remaining with
+        | [] ->
+          (match rt.finish ctx attempt with
+           | Committed ->
+             stats := { !stats with committed = !stats.committed + 1 };
+             active.(slot) <- None;
+             decr live;
+             refill slot
+           | Aborted -> restart slot attempt
+           | Progress | Blocked -> assert false)
+        | op :: rest ->
+          stats := { !stats with ops = !stats.ops + 1 };
+          (match rt.step ctx attempt op with
+           | Progress -> attempt.remaining <- rest
+           | Blocked -> stats := { !stats with waits = !stats.waits + 1 }
+           | Aborted -> restart slot attempt
+           | Committed -> assert false)))
+  done;
+  !stats
+
+let run ?(seed = 0x5173) ?(isolation = Serializable) ?(concurrency = 8) ~engine ~store ~oracle
+    specs =
+  match engine with
+  | Mvcc_to ->
+    let ctx = { to_store = store; to_oracle = oracle; to_rts = Hashtbl.create 256; to_isolation = isolation } in
+    run_generic to_runtime ctx ~oracle ~seed ~concurrency specs
+  | Mvcc_occ ->
+    let ctx = { occ_store = store; occ_oracle = oracle; occ_isolation = isolation } in
+    run_generic occ_runtime ctx ~oracle ~seed ~concurrency specs
+  | Two_pl ->
+    let ctx = { pl_store = store; pl_oracle = oracle; pl_locks = Lock_manager.create (); pl_isolation = isolation } in
+    run_generic pl_runtime ctx ~oracle ~seed ~concurrency specs

@@ -1,0 +1,36 @@
+(** Interleaved transaction executor over the MVCC store, implementing the
+    three concurrency-control schemes the paper considers (section 5.2):
+    MVCC with timestamp ordering, MVCC with OCC validation, and MVCC with
+    two-phase locking (wait-die). Deterministic: same seed, same
+    interleaving. *)
+
+type op =
+  | Read of string
+  | Write of string * string
+  | Rmw of string * (string option -> string)
+      (** read-modify-write: the function sees the transaction's snapshot
+          value (or its own buffered write) *)
+
+type txn_spec = op list
+
+type engine = Mvcc_to | Mvcc_occ | Two_pl
+
+val engine_name : engine -> string
+
+type isolation = Serializable | Read_committed
+
+type stats = {
+  committed : int;
+  aborted : int;  (** abort events; each restarts the transaction *)
+  waits : int;    (** scheduling slots spent blocked on a lock (2PL) *)
+  ops : int;      (** operations executed, including re-executions *)
+}
+
+val run :
+  ?seed:int -> ?isolation:isolation -> ?concurrency:int ->
+  engine:engine -> store:string Mvcc.t -> oracle:Timestamp.t ->
+  txn_spec list -> stats
+(** Execute every transaction to commit (aborts restart), interleaving up to
+    [concurrency] (default 8) at a time. All engines guarantee
+    serializability under [Serializable]; [Read_committed] skips read
+    validation/locking. *)

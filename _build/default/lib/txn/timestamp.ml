@@ -1,0 +1,21 @@
+(* Global timestamp oracle (Percolator-style): a single monotonic allocator
+   handing out start and commit timestamps. The allocation counter makes the
+   oracle's centralization visible in benchmarks — the bottleneck the paper
+   notes as the first limitation of TSO-based ordering. *)
+
+type t = {
+  mutable next : int;
+  mutable allocations : int;
+}
+
+let create ?(start = 1) () = { next = start; allocations = 0 }
+
+let next t =
+  let ts = t.next in
+  t.next <- ts + 1;
+  t.allocations <- t.allocations + 1;
+  ts
+
+let peek t = t.next
+
+let allocations t = t.allocations

@@ -1,0 +1,15 @@
+(** Global timestamp oracle (Percolator-style): a single monotonic allocator
+    for start and commit timestamps. *)
+
+type t
+
+val create : ?start:int -> unit -> t
+
+val next : t -> int
+(** Allocate the next timestamp. *)
+
+val peek : t -> int
+(** The timestamp {!next} would return, without allocating. *)
+
+val allocations : t -> int
+(** Total allocations served — a proxy for oracle load. *)

@@ -1,0 +1,116 @@
+(* Two-phase commit across processor nodes (paper section 5.2): each node
+   holds a partition of the multi-versioned state; a coordinator runs
+   prepare/commit so cross-node transactions either install everywhere or
+   nowhere. Prepare takes write locks and validates write-write conflicts
+   against the transaction's start timestamp; any NO vote aborts the whole
+   transaction. *)
+
+type node = {
+  node_id : int;
+  store : string Mvcc.t;
+  locks : Lock_manager.t;
+  clock : Hlc.t;
+}
+
+let make_node ?(clock = fun () -> 0) node_id =
+  { node_id; store = Mvcc.create (); locks = Lock_manager.create (); clock = Hlc.create ~clock ~node_id () }
+
+type vote = Yes | No
+
+type txn = {
+  id : int;
+  start_ts : int;
+  writes : (int * string * string) list; (* node, key, value *)
+  reads : (int * string) list;
+}
+
+type result = Committed of int (* commit timestamp *) | Aborted of string
+
+type t = {
+  nodes : node array;
+  mutable next_txn : int;
+  oracle : Timestamp.t;
+  mutable prepared : (int, (int * string * string) list) Hashtbl.t;
+}
+
+let create ?(node_count = 3) () =
+  {
+    nodes = Array.init node_count make_node;
+    next_txn = 0;
+    oracle = Timestamp.create ();
+    prepared = Hashtbl.create 16;
+  }
+
+let node t i = t.nodes.(i)
+let node_count t = Array.length t.nodes
+
+let begin_txn t =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  (id, Timestamp.next t.oracle)
+
+let node_for t key = Hashtbl.hash key mod Array.length t.nodes
+
+let read t ~ts key =
+  let n = t.nodes.(node_for t key) in
+  Mvcc.read_value n.store key ~ts
+
+(* Phase 1: each participant votes. A participant votes NO when it cannot
+   lock a write target or when the key changed after the start timestamp. *)
+let prepare t (txn : txn) =
+  let participants =
+    List.sort_uniq Int.compare (List.map (fun (n, _, _) -> n) txn.writes)
+  in
+  let vote_of_node nid =
+    let node = t.nodes.(nid) in
+    let my_writes = List.filter (fun (n, _, _) -> n = nid) txn.writes in
+    let ok =
+      List.for_all
+        (fun (_, key, _) ->
+           match Lock_manager.acquire node.locks ~txn:txn.id ~mode:Lock_manager.Exclusive key with
+           | Lock_manager.Granted -> Mvcc.latest_ts node.store key <= txn.start_ts
+           | Lock_manager.Must_wait | Lock_manager.Must_abort -> false)
+        my_writes
+    in
+    if ok then Yes else No
+  in
+  let votes = List.map (fun nid -> (nid, vote_of_node nid)) participants in
+  if List.for_all (fun (_, v) -> v = Yes) votes then begin
+    Hashtbl.replace t.prepared txn.id txn.writes;
+    Ok participants
+  end
+  else begin
+    (* roll back locks everywhere *)
+    List.iter (fun nid -> Lock_manager.release_all t.nodes.(nid).locks ~txn:txn.id) participants;
+    Error
+      (String.concat ","
+         (List.filter_map (fun (nid, v) -> if v = No then Some (string_of_int nid) else None) votes))
+  end
+
+(* Phase 2: install at a single commit timestamp on every participant. *)
+let commit_prepared t ~txn_id ~participants =
+  match Hashtbl.find_opt t.prepared txn_id with
+  | None -> Aborted "not prepared"
+  | Some writes ->
+    let commit_ts = Timestamp.next t.oracle in
+    List.iter
+      (fun (nid, key, value) ->
+         let node = t.nodes.(nid) in
+         Mvcc.write node.store key ~ts:commit_ts (Some value);
+         ignore (Hlc.now node.clock))
+      writes;
+    List.iter (fun nid -> Lock_manager.release_all t.nodes.(nid).locks ~txn:txn_id) participants;
+    Hashtbl.remove t.prepared txn_id;
+    Committed commit_ts
+
+let execute t (txn : txn) =
+  match prepare t txn with
+  | Ok participants -> commit_prepared t ~txn_id:txn.id ~participants
+  | Error nodes -> Aborted (Printf.sprintf "no-vote from node(s) %s" nodes)
+
+(* Convenience: build and run a cross-partition transaction from key-value
+   writes, routing each key to its partition. *)
+let run_writes t writes =
+  let id, start_ts = begin_txn t in
+  let routed = List.map (fun (k, v) -> (node_for t k, k, v)) writes in
+  execute t { id; start_ts; writes = routed; reads = [] }

@@ -1,0 +1,48 @@
+(** Two-phase commit across processor nodes holding partitions of the
+    multi-versioned state (paper section 5.2): prepare locks and validates on
+    every participant; any NO vote aborts the whole transaction; commit
+    installs at one global timestamp. *)
+
+type node = {
+  node_id : int;
+  store : string Mvcc.t;
+  locks : Lock_manager.t;
+  clock : Hlc.t;
+}
+
+type txn = {
+  id : int;
+  start_ts : int;
+  writes : (int * string * string) list; (** (node, key, value) *)
+  reads : (int * string) list;
+}
+
+type result = Committed of int | Aborted of string
+
+type t
+
+val create : ?node_count:int -> unit -> t
+
+val node : t -> int -> node
+val node_count : t -> int
+val node_for : t -> string -> int
+(** The partition a key hashes to. *)
+
+val begin_txn : t -> int * int
+(** Fresh (transaction id, start timestamp). *)
+
+val read : t -> ts:int -> string -> string option
+(** Snapshot read from the owning partition. *)
+
+val prepare : t -> txn -> (int list, string) Stdlib.result
+(** Phase 1: [Ok participants], or [Error nodes] naming the NO voters (all
+    locks rolled back). *)
+
+val commit_prepared : t -> txn_id:int -> participants:int list -> result
+(** Phase 2: install everywhere at one commit timestamp. *)
+
+val execute : t -> txn -> result
+(** {!prepare} then {!commit_prepared}. *)
+
+val run_writes : t -> (string * string) list -> result
+(** Convenience: route writes to their partitions and execute. *)

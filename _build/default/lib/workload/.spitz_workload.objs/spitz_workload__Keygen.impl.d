@@ -1,0 +1,1 @@
+lib/workload/keygen.ml: Bytes Hashtbl Printf String

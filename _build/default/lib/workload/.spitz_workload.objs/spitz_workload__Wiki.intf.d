@@ -1,0 +1,1 @@
+lib/workload/wiki.mli:

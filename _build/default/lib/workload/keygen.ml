@@ -1,0 +1,72 @@
+(* Deterministic workload randomness: seeded xorshift, uniform and zipfian
+   key selection. The paper's workloads use keys of 5-12 bytes and values of
+   20 bytes (section 6.2). *)
+
+type rng = { mutable state : int }
+
+let rng seed = { state = (if seed = 0 then 1 else seed land max_int) }
+
+let next r =
+  let x = r.state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = (x lxor (x lsl 17)) land max_int in
+  r.state <- (if x = 0 then 1 else x);
+  x
+
+let int r bound =
+  if bound <= 0 then invalid_arg "Keygen.int: bound must be positive";
+  next r mod bound
+
+let float r =
+  (* 30 bits of mantissa is plenty for workload skew *)
+  float_of_int (next r land 0x3FFFFFFF) /. float_of_int 0x40000000
+
+(* The i-th key of a keyspace: 5-12 bytes, deterministic in [i]. The first 5
+   bytes are [i] in zero-padded base36, so lexicographic key order equals
+   index order (range queries over the primary key select contiguous index
+   intervals, as in section 6.2.2); a variable-length suffix mixes lengths
+   across the 5-12 byte span the paper uses. Unique per index for
+   i < 36^5 (~60M). *)
+let base36 = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+let key_of i =
+  let mixed =
+    let z = (i + 0x9E37) * 0x85EBCA6B land 0xFFFFFF in
+    z lxor (z lsr 13)
+  in
+  let prefix = Bytes.create 5 in
+  let rec fill pos v =
+    if pos >= 0 then begin
+      Bytes.set prefix pos base36.[v mod 36];
+      fill (pos - 1) (v / 36)
+    end
+  in
+  fill 4 i;
+  let suffix_len = mixed mod 8 in
+  let suffix = String.init suffix_len (fun j -> base36.[(mixed lsr (j * 3)) mod 36]) in
+  Bytes.to_string prefix ^ suffix
+
+(* Key-range bounds covering exactly the indices [i_lo, i_hi]. *)
+let range_bounds ~lo ~hi =
+  (String.sub (key_of lo) 0 5, String.sub (key_of hi) 0 5 ^ "~")
+
+(* 20-byte value deterministic in (key, version). *)
+let value_of ?(version = 0) key =
+  let h = Hashtbl.hash (key, version) in
+  let s = Printf.sprintf "%010d%010d" (h land 0x3FFFFFFF) (version land 0x3FFFFFFF) in
+  String.sub s 0 20
+
+type distribution = Uniform | Zipfian of float
+
+(* Zipfian index generator over [0, n): rejection-free power approximation
+   (Gray et al.'s method as used in YCSB, simplified). *)
+let pick r dist n =
+  match dist with
+  | Uniform -> int r n
+  | Zipfian theta ->
+    let u = float r in
+    (* approximate inverse CDF: i = n * u^(1/(1-theta)) biases toward 0 *)
+    let x = u ** (1.0 /. (1.0 -. theta)) in
+    let i = int_of_float (float_of_int n *. x) in
+    if i >= n then n - 1 else i

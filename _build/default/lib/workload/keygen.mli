@@ -1,0 +1,29 @@
+(** Deterministic workload generation: seeded randomness, the paper's key and
+    value shapes (5-12 byte keys, 20-byte values), uniform and zipfian
+    selection. *)
+
+type rng
+
+val rng : int -> rng
+val next : rng -> int
+val int : rng -> int -> int
+(** Uniform in [0, bound). *)
+
+val float : rng -> float
+(** Uniform in [0, 1). *)
+
+val key_of : int -> string
+(** The i-th key of the keyspace: 5-12 bytes, deterministic, collision-free
+    per index (i < 36^5), with lexicographic order equal to index order. *)
+
+val range_bounds : lo:int -> hi:int -> string * string
+(** [(klo, khi)] such that a key-range scan over [klo..khi] selects exactly
+    the keys with indices in [lo..hi]. *)
+
+val value_of : ?version:int -> string -> string
+(** 20-byte value, deterministic in (key, version). *)
+
+type distribution = Uniform | Zipfian of float
+
+val pick : rng -> distribution -> int -> int
+(** An index in [0, n) drawn from the distribution. *)

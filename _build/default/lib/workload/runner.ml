@@ -1,0 +1,22 @@
+(* Fixed-operation timing loops for the figure sweeps: run [ops] operations,
+   report operations per second. Timed with [Sys.time] (CPU seconds): the
+   workloads are CPU-bound and single-threaded, so CPU time measures them
+   exactly and is immune to scheduler noise. *)
+
+let time_ops ?(warmup = 0) ~ops f =
+  for i = 0 to warmup - 1 do
+    f i
+  done;
+  let t0 = Sys.time () in
+  for i = 0 to ops - 1 do
+    f i
+  done;
+  let t1 = Sys.time () in
+  let elapsed = t1 -. t0 in
+  if elapsed <= 0.0 then Float.infinity else float_of_int ops /. elapsed
+
+let kops x = x /. 1000.0
+
+(* Paper record counts: 10^4 * {1,2,4,8,16,32,64,128}, divided by [scale]. *)
+let record_counts ?(scale = 1) () =
+  List.map (fun m -> m * 10_000 / scale) [ 1; 2; 4; 8; 16; 32; 64; 128 ]

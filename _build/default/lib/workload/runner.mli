@@ -1,0 +1,12 @@
+(** Fixed-operation timing loops for the figure sweeps. Reports throughput in
+    operations per second using CPU time (the workloads are CPU-bound and
+    single-threaded). *)
+
+val time_ops : ?warmup:int -> ops:int -> (int -> unit) -> float
+(** [time_ops ~ops f] runs [f 0 .. f (ops-1)] and returns ops/second. *)
+
+val kops : float -> float
+(** Ops/s to 10^3 ops/s, the unit of the paper's y-axes. *)
+
+val record_counts : ?scale:int -> unit -> int list
+(** The paper's x-axis: 10^4 x {1,2,4,8,16,32,64,128}, divided by [scale]. *)

@@ -1,0 +1,40 @@
+(* The Figure-1 workload: an immutable database holding 10 wiki pages of
+   16 KB each; every new version edits one page in place (a localized edit,
+   as wiki edits are) while all previous versions remain accessible. *)
+
+type t = {
+  page_count : int;
+  page_size : int;
+  mutable pages : string array; (* current content of each page *)
+  rng : Keygen.rng;
+}
+
+let create ?(page_count = 10) ?(page_size = 16 * 1024) ?(seed = 0xA11CE) () =
+  let rng = Keygen.rng seed in
+  let make_page p =
+    String.init page_size (fun i ->
+        let h = (p * 31) + (i * 131) + Keygen.int rng 97 in
+        Char.chr (32 + (h mod 95)))
+  in
+  { page_count; page_size; pages = Array.init page_count make_page; rng }
+
+let pages t = Array.to_list t.pages
+
+let page t i = t.pages.(i)
+
+(* Apply one wiki-style edit: overwrite a small random span of one page. The
+   rest of the page — and all other pages — is byte-identical to the previous
+   version, which is what content-addressed storage deduplicates. *)
+let edit ?(span = 256) t =
+  let p = Keygen.int t.rng t.page_count in
+  let page = t.pages.(p) in
+  let off = Keygen.int t.rng (max 1 (String.length page - span)) in
+  let replacement =
+    String.init span (fun i -> Char.chr (32 + ((Keygen.int t.rng 95 + i) mod 95)))
+  in
+  let edited =
+    String.sub page 0 off ^ replacement
+    ^ String.sub page (off + span) (String.length page - off - span)
+  in
+  t.pages.(p) <- edited;
+  (p, edited)

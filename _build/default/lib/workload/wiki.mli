@@ -1,0 +1,15 @@
+(** The Figure-1 workload: 10 wiki pages of 16 KB; each version edits a small
+    span of one page, leaving everything else byte-identical. *)
+
+type t
+
+val create : ?page_count:int -> ?page_size:int -> ?seed:int -> unit -> t
+
+val pages : t -> string list
+(** Current content of all pages. *)
+
+val page : t -> int -> string
+
+val edit : ?span:int -> t -> int * string
+(** Apply one localized edit; returns the edited page's index and its new
+    content. *)

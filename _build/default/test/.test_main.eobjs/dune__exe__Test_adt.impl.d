@@ -1,0 +1,1 @@
+test/test_adt.ml: Alcotest Array Bytes Char Kv_node List Map Mbt Merkle_bptree Mpt Object_store Pos_tree Printf QCheck QCheck_alcotest Random Siri Spitz_adt Spitz_crypto Spitz_storage String

@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Char Cluster Db Federated Filename Json List Option Printf Processor Provenance Spitz Spitz_crypto Spitz_ledger Sql String Sys

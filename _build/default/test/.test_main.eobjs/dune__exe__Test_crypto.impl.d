@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Gen Hash List Printf QCheck QCheck_alcotest Sha256 Spitz_crypto String

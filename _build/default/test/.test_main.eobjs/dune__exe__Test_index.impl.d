@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Bptree Float Inverted Learned_index List Map Printf QCheck QCheck_alcotest Radix_tree Skiplist Spitz_index String

@@ -1,0 +1,1 @@
+test/test_ledger.ml: Alcotest Block Journal Ledger List Object_store Option Printf Spitz_adt Spitz_crypto Spitz_ledger Spitz_storage Verifier

@@ -1,0 +1,1 @@
+test/test_merkle.ml: Alcotest Fun List Merkle Printf QCheck QCheck_alcotest Spitz_adt Spitz_crypto

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Auditor Db Json List Option Schema Spitz Spitz_ledger Sql String

@@ -1,0 +1,1 @@
+test/test_spitz_core.ml: Alcotest Cell_store Db List Option Printf Spitz Spitz_crypto Spitz_ledger Universal_key

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Char Chunk List Object_store Printf QCheck QCheck_alcotest Set Spitz_crypto Spitz_storage String Version Wire

@@ -1,0 +1,1 @@
+test/test_systems.ml: Alcotest Array Keygen List Option Printf Set Spitz_baseline Spitz_kvstore Spitz_nonintrusive Spitz_storage Spitz_workload String Wiki

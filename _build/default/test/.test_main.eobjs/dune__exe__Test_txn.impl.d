@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Hlc List Lock_manager Mvcc Occ Option Printf Scheduler Spitz_txn Timestamp Two_phase_commit

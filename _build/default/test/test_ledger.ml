@@ -1,0 +1,323 @@
+open Spitz_ledger
+open Spitz_storage
+module Hash = Spitz_crypto.Hash
+module L = Ledger.Default
+module V = Verifier.Default
+
+(* --- blocks --- *)
+
+let sample_entries =
+  [
+    { Block.op = Block.Insert; key = "k1"; value_hash = Hash.of_string "v1"; txn_id = 7 };
+    { Block.op = Block.Update; key = "k2"; value_hash = Hash.of_string "v2"; txn_id = 7 };
+    { Block.op = Block.Delete; key = "k3"; value_hash = Hash.null; txn_id = 8 };
+  ]
+
+let test_block_roundtrip () =
+  let b =
+    Block.create ~height:3 ~prev_hash:(Hash.of_string "prev") ~index_root:(Hash.of_string "idx")
+      ~time:99 ~entries:sample_entries ~statements:[ "INSERT ..."; "DELETE ..." ]
+  in
+  let b' = Block.decode (Block.encode b) in
+  Alcotest.(check bool) "headers equal" true
+    (Hash.equal (Block.hash_header b.Block.header) (Block.hash_header b'.Block.header));
+  Alcotest.(check int) "entries" 3 (List.length b'.Block.entries);
+  Alcotest.(check (list string)) "statements" [ "INSERT ..."; "DELETE ..." ] b'.Block.statements;
+  Alcotest.(check int) "entry count in header" 3 b.Block.header.Block.entry_count
+
+let test_block_header_commits_entries () =
+  let b1 =
+    Block.create ~height:0 ~prev_hash:Hash.null ~index_root:Hash.null ~time:1
+      ~entries:sample_entries ~statements:[]
+  in
+  let b2 =
+    Block.create ~height:0 ~prev_hash:Hash.null ~index_root:Hash.null ~time:1
+      ~entries:(List.tl sample_entries) ~statements:[]
+  in
+  Alcotest.(check bool) "different entries, different header hash" false
+    (Hash.equal (Block.hash_header b1.Block.header) (Block.hash_header b2.Block.header))
+
+(* --- journal --- *)
+
+let make_block journal ~height entries =
+  Block.create ~height ~prev_hash:(Journal.head_hash journal) ~index_root:Hash.null
+    ~time:(height + 1) ~entries ~statements:[]
+
+let test_journal_chain () =
+  let store = Object_store.create () in
+  let j = Journal.create store in
+  Alcotest.(check int) "empty" 0 (Journal.length j);
+  for h = 0 to 9 do
+    Journal.append j (make_block j ~height:h sample_entries)
+  done;
+  Alcotest.(check int) "length" 10 (Journal.length j);
+  Alcotest.(check bool) "chain intact" true (Journal.audit_chain j);
+  let block = Journal.block j 4 in
+  Alcotest.(check int) "block height" 4 block.Block.header.Block.height;
+  Alcotest.(check int) "block entries" 3 (List.length block.Block.entries)
+
+let test_journal_rejects_bad_links () =
+  let store = Object_store.create () in
+  let j = Journal.create store in
+  Journal.append j (make_block j ~height:0 sample_entries);
+  let bad_prev =
+    Block.create ~height:1 ~prev_hash:(Hash.of_string "wrong") ~index_root:Hash.null ~time:2
+      ~entries:[] ~statements:[]
+  in
+  Alcotest.check_raises "bad prev"
+    (Invalid_argument "Journal.append: prev_hash does not extend the chain") (fun () ->
+        Journal.append j bad_prev);
+  let bad_height =
+    Block.create ~height:5 ~prev_hash:(Journal.head_hash j) ~index_root:Hash.null ~time:2
+      ~entries:[] ~statements:[]
+  in
+  Alcotest.check_raises "bad height" (Invalid_argument "Journal.append: wrong height")
+    (fun () -> Journal.append j bad_height)
+
+let test_journal_inclusion_and_consistency () =
+  let store = Object_store.create () in
+  let j = Journal.create store in
+  for h = 0 to 19 do
+    Journal.append j (make_block j ~height:h sample_entries)
+  done;
+  let d1 = Journal.digest j in
+  for h = 20 to 29 do
+    Journal.append j (make_block j ~height:h sample_entries)
+  done;
+  let d2 = Journal.digest j in
+  (* inclusion of every block under the new digest *)
+  for h = 0 to 29 do
+    Alcotest.(check bool) (Printf.sprintf "block %d" h) true
+      (Journal.verify_inclusion ~digest:d2 ~height:h ~header:(Journal.header j h)
+         (Journal.prove_inclusion j h))
+  done;
+  (* consistency between digests *)
+  Alcotest.(check bool) "append-only" true
+    (Journal.verify_consistency ~old_digest:d1 ~new_digest:d2
+       (Journal.prove_consistency j ~old_size:20));
+  (* a header from one height does not verify at another *)
+  Alcotest.(check bool) "wrong height" false
+    (Journal.verify_inclusion ~digest:d2 ~height:3 ~header:(Journal.header j 4)
+       (Journal.prove_inclusion j 3))
+
+(* --- ledger --- *)
+
+let test_ledger_commit_get () =
+  let l = L.create (Object_store.create ()) in
+  let h0 = L.commit l [ Ledger.Put ("a", "1"); Ledger.Put ("b", "2") ] in
+  Alcotest.(check int) "first height" 0 h0;
+  Alcotest.(check (option string)) "a" (Some "1") (L.get l "a");
+  Alcotest.(check (option string)) "b" (Some "2") (L.get l "b");
+  Alcotest.(check (option string)) "missing" None (L.get l "c");
+  let _ = L.commit l [ Ledger.Put ("a", "10"); Ledger.Delete ("b") ] in
+  Alcotest.(check (option string)) "a updated" (Some "10") (L.get l "a");
+  Alcotest.(check (option string)) "b deleted" None (L.get l "b");
+  (* historical reads *)
+  Alcotest.(check (option string)) "a at height 0" (Some "1") (L.get_at l ~height:0 "a");
+  Alcotest.(check (option string)) "b at height 0" (Some "2") (L.get_at l ~height:0 "b");
+  Alcotest.(check bool) "audit" true (L.audit l)
+
+let test_ledger_read_proofs () =
+  let l = L.create (Object_store.create ()) in
+  for i = 0 to 99 do
+    ignore (L.commit l [ Ledger.Put (Printf.sprintf "k%03d" i, Printf.sprintf "v%d" i) ])
+  done;
+  let digest = L.digest l in
+  let value, proof = L.get_with_proof l "k042" in
+  let proof = Option.get proof in
+  Alcotest.(check (option string)) "value" (Some "v42") value;
+  Alcotest.(check bool) "verifies" true (L.verify_read ~digest ~key:"k042" ~value proof);
+  Alcotest.(check bool) "forged value" false
+    (L.verify_read ~digest ~key:"k042" ~value:(Some "other") proof);
+  Alcotest.(check bool) "forged absence" false
+    (L.verify_read ~digest ~key:"k042" ~value:None proof);
+  (* absence *)
+  let v2, p2 = L.get_with_proof l "nope" in
+  Alcotest.(check bool) "absent" true (v2 = None);
+  Alcotest.(check bool) "absence verifies" true
+    (L.verify_read ~digest ~key:"nope" ~value:None (Option.get p2))
+
+let test_ledger_tombstone_proofs () =
+  let l = L.create (Object_store.create ()) in
+  ignore (L.commit l [ Ledger.Put ("gone", "was-here"); Ledger.Put ("stay", "here") ]);
+  ignore (L.commit l [ Ledger.Delete "gone" ]);
+  let digest = L.digest l in
+  let value, proof = L.get_with_proof l "gone" in
+  Alcotest.(check bool) "deleted reads as absent" true (value = None);
+  Alcotest.(check bool) "tombstone proof verifies as absence" true
+    (L.verify_read ~digest ~key:"gone" ~value:None (Option.get proof));
+  (* a range over the tombstone must still verify *)
+  let entries, rp = L.range_with_proof l ~lo:"a" ~hi:"z" in
+  Alcotest.(check (list (pair string string))) "only live entries" [ ("stay", "here") ] entries;
+  Alcotest.(check bool) "range with tombstone verifies" true
+    (L.verify_range ~digest ~lo:"a" ~hi:"z" ~entries (Option.get rp))
+
+let test_ledger_range_proofs () =
+  let l = L.create (Object_store.create ()) in
+  ignore
+    (L.commit l (List.init 200 (fun i -> Ledger.Put (Printf.sprintf "k%03d" i, string_of_int i))));
+  let digest = L.digest l in
+  let entries, proof = L.range_with_proof l ~lo:"k050" ~hi:"k059" in
+  let proof = Option.get proof in
+  Alcotest.(check int) "10 entries" 10 (List.length entries);
+  Alcotest.(check bool) "verifies" true (L.verify_range ~digest ~lo:"k050" ~hi:"k059" ~entries proof);
+  Alcotest.(check bool) "omission detected" false
+    (L.verify_range ~digest ~lo:"k050" ~hi:"k059" ~entries:(List.tl entries) proof);
+  Alcotest.(check bool) "fabrication detected" false
+    (L.verify_range ~digest ~lo:"k050" ~hi:"k059"
+       ~entries:(("k0505", "fake") :: entries) proof)
+
+let test_ledger_write_receipts () =
+  let l = L.create (Object_store.create ()) in
+  let height = L.commit l ~statements:[ "PUT x" ] [ Ledger.Put ("x", "1"); Ledger.Put ("y", "2") ] in
+  let receipts = L.write_receipts l ~height in
+  Alcotest.(check int) "two receipts" 2 (List.length receipts);
+  let digest = L.digest l in
+  List.iter
+    (fun r -> Alcotest.(check bool) "receipt verifies" true (L.verify_write ~digest r))
+    receipts;
+  (* tamper with an entry *)
+  let r = List.hd receipts in
+  let forged = { r with L.wr_entry = { r.L.wr_entry with Block.key = "z" } } in
+  Alcotest.(check bool) "forged entry fails" false (L.verify_write ~digest forged)
+
+let test_ledger_history () =
+  let l = L.create (Object_store.create ()) in
+  ignore (L.commit l [ Ledger.Put ("k", "v1") ]);
+  ignore (L.commit l [ Ledger.Put ("other", "x") ]);
+  ignore (L.commit l [ Ledger.Put ("k", "v2") ]);
+  ignore (L.commit l [ Ledger.Delete "k" ]);
+  let h = L.history l "k" in
+  Alcotest.(check int) "three events" 3 (List.length h);
+  Alcotest.(check (list (pair int (option string)))) "history"
+    [ (0, Some "v1"); (2, Some "v2"); (3, None) ]
+    h
+
+let test_ledger_instance_sharing () =
+  (* index instances across blocks share nodes: committing one key on top of
+     a large ledger must store only a path, not a new tree *)
+  let store = Object_store.create () in
+  let l = L.create store in
+  ignore (L.commit l (List.init 2000 (fun i -> Ledger.Put (Printf.sprintf "k%05d" i, "v"))));
+  let before = (Object_store.stats store).Object_store.physical_bytes in
+  ignore (L.commit l [ Ledger.Put ("k00001", "updated") ]);
+  let added = (Object_store.stats store).Object_store.physical_bytes - before in
+  Alcotest.(check bool) "block adds a path, not a tree" true (added * 20 < before)
+
+(* --- verifier --- *)
+
+let test_verifier_online () =
+  let l = L.create (Object_store.create ()) in
+  ignore (L.commit l [ Ledger.Put ("a", "1") ]);
+  let client = V.create () in
+  Alcotest.(check bool) "initial sync" true (V.sync client ~digest:(L.digest l) ~consistency:[]);
+  let value, proof = L.get_with_proof l "a" in
+  Alcotest.(check (option bool)) "online verify" (Some true)
+    (V.submit_read client ~key:"a" ~value (Option.get proof));
+  Alcotest.(check int) "no failures" 0 (V.failures client);
+  (* a lying server *)
+  Alcotest.(check (option bool)) "lie detected" (Some false)
+    (V.submit_read client ~key:"a" ~value:(Some "2") (Option.get proof));
+  Alcotest.(check int) "failure recorded" 1 (V.failures client)
+
+let test_verifier_deferred () =
+  let l = L.create (Object_store.create ()) in
+  let client = V.create ~mode:(V.Deferred 3) () in
+  ignore (L.commit l [ Ledger.Put ("a", "1") ]);
+  ignore (V.sync client ~digest:(L.digest l) ~consistency:[]);
+  let submit key =
+    let value, proof = L.get_with_proof l key in
+    V.submit_read client ~key ~value (Option.get proof)
+  in
+  Alcotest.(check (option bool)) "queued 1" None (submit "a");
+  (* the ledger advances; the client re-syncs with a consistency proof *)
+  let old = L.digest l in
+  ignore (L.commit l [ Ledger.Put ("b", "2") ]);
+  Alcotest.(check bool) "consistency sync" true
+    (V.sync client ~digest:(L.digest l)
+       ~consistency:(Journal.prove_consistency (L.journal l) ~old_size:old.Journal.size));
+  Alcotest.(check (option bool)) "queued 2" None (submit "b");
+  Alcotest.(check (option bool)) "batch flush verifies all" (Some true) (submit "a");
+  Alcotest.(check int) "three checked" 3 (V.checked client);
+  Alcotest.(check int) "no failures" 0 (V.failures client)
+
+let test_verifier_rejects_inconsistent_digest () =
+  let l1 = L.create (Object_store.create ()) in
+  let l2 = L.create (Object_store.create ()) in
+  ignore (L.commit l1 [ Ledger.Put ("a", "1") ]);
+  ignore (L.commit l2 [ Ledger.Put ("a", "EVIL") ]);
+  let client = V.create () in
+  ignore (V.sync client ~digest:(L.digest l1) ~consistency:[]);
+  (* a digest from a different history cannot be synced in *)
+  ignore (L.commit l2 [ Ledger.Put ("b", "2") ]);
+  Alcotest.(check bool) "fork detected" false
+    (V.sync client ~digest:(L.digest l2)
+       ~consistency:(Journal.prove_consistency (L.journal l2) ~old_size:1));
+  Alcotest.(check int) "failure recorded" 1 (V.failures client)
+
+let suite =
+  [
+    Alcotest.test_case "block roundtrip" `Quick test_block_roundtrip;
+    Alcotest.test_case "block header commits entries" `Quick test_block_header_commits_entries;
+    Alcotest.test_case "journal chain" `Quick test_journal_chain;
+    Alcotest.test_case "journal rejects bad links" `Quick test_journal_rejects_bad_links;
+    Alcotest.test_case "journal inclusion+consistency" `Quick test_journal_inclusion_and_consistency;
+    Alcotest.test_case "ledger commit/get" `Quick test_ledger_commit_get;
+    Alcotest.test_case "ledger read proofs" `Quick test_ledger_read_proofs;
+    Alcotest.test_case "ledger tombstone proofs" `Quick test_ledger_tombstone_proofs;
+    Alcotest.test_case "ledger range proofs" `Quick test_ledger_range_proofs;
+    Alcotest.test_case "ledger write receipts" `Quick test_ledger_write_receipts;
+    Alcotest.test_case "ledger history" `Quick test_ledger_history;
+    Alcotest.test_case "ledger instance sharing" `Quick test_ledger_instance_sharing;
+    Alcotest.test_case "verifier online" `Quick test_verifier_online;
+    Alcotest.test_case "verifier deferred" `Quick test_verifier_deferred;
+    Alcotest.test_case "verifier rejects forks" `Quick test_verifier_rejects_inconsistent_digest;
+  ]
+
+(* --- the ledger functor must work over every SIRI instance --- *)
+
+module Ledger_conformance (Index : Spitz_adt.Siri.S) = struct
+  module LX = Ledger.Make (Index)
+
+  let test () =
+    let l = LX.create (Object_store.create ()) in
+    for i = 0 to 49 do
+      ignore (LX.commit l [ Ledger.Put (Printf.sprintf "k%02d" i, Printf.sprintf "v%d" i) ])
+    done;
+    ignore (LX.commit l [ Ledger.Delete "k07" ]);
+    let digest = LX.digest l in
+    (* point + tombstone *)
+    let v, p = LX.get_with_proof l "k03" in
+    Alcotest.(check bool) (Index.name ^ ": read verifies") true
+      (LX.verify_read ~digest ~key:"k03" ~value:v (Option.get p));
+    let v7, p7 = LX.get_with_proof l "k07" in
+    Alcotest.(check bool) (Index.name ^ ": tombstone absent") true (v7 = None);
+    Alcotest.(check bool) (Index.name ^ ": tombstone verifies") true
+      (LX.verify_read ~digest ~key:"k07" ~value:None (Option.get p7));
+    (* range *)
+    let entries, rp = LX.range_with_proof l ~lo:"k00" ~hi:"k09" in
+    Alcotest.(check int) (Index.name ^ ": range size") 9 (List.length entries);
+    Alcotest.(check bool) (Index.name ^ ": range verifies") true
+      (LX.verify_range ~digest ~lo:"k00" ~hi:"k09" ~entries (Option.get rp));
+    (* receipts *)
+    let height = LX.commit l [ Ledger.Put ("new", "x") ] in
+    let digest = LX.digest l in
+    List.iter
+      (fun r ->
+         Alcotest.(check bool) (Index.name ^ ": receipt verifies") true
+           (LX.verify_write ~digest r))
+      (LX.write_receipts l ~height);
+    Alcotest.(check bool) (Index.name ^ ": audit") true (LX.audit l)
+end
+
+module Ledger_pos = Ledger_conformance (Spitz_adt.Pos_tree)
+module Ledger_mpt = Ledger_conformance (Spitz_adt.Mpt)
+module Ledger_mbt = Ledger_conformance (Spitz_adt.Mbt)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "ledger over pos-tree" `Quick Ledger_pos.test;
+      Alcotest.test_case "ledger over mpt" `Quick Ledger_mpt.test;
+      Alcotest.test_case "ledger over mbt" `Quick Ledger_mbt.test;
+    ]

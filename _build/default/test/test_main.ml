@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "spitz"
+    [
+      ("crypto", Test_crypto.suite);
+      ("storage", Test_storage.suite);
+      ("merkle", Test_merkle.suite);
+      ("adt", Test_adt.suite);
+      ("index", Test_index.suite);
+      ("ledger", Test_ledger.suite);
+      ("txn", Test_txn.suite);
+      ("core", Test_spitz_core.suite);
+      ("systems", Test_systems.suite);
+      ("query", Test_query.suite);
+      ("control", Test_control.suite);
+    ]

@@ -1,0 +1,155 @@
+open Spitz_adt
+module Hash = Spitz_crypto.Hash
+
+let leaves n = List.init n (fun i -> Printf.sprintf "leaf-%d" i)
+
+let test_empty () =
+  let t = Merkle.create () in
+  Alcotest.(check int) "size" 0 (Merkle.size t);
+  Alcotest.(check string) "root of empty = SHA256(\"\")"
+    (Hash.to_hex (Hash.of_string ""))
+    (Hash.to_hex (Merkle.root t))
+
+let test_single () =
+  let t = Merkle.of_leaves [ "only" ] in
+  Alcotest.(check bool) "root = leaf hash" true
+    (Hash.equal (Merkle.root t) (Hash.leaf "only"))
+
+let test_rfc_shape () =
+  (* root of [a;b;c] must be node(node(a,b), c) *)
+  let t = Merkle.of_leaves [ "a"; "b"; "c" ] in
+  let expected = Hash.node (Hash.node (Hash.leaf "a") (Hash.leaf "b")) (Hash.leaf "c") in
+  Alcotest.(check bool) "3 leaves" true (Hash.equal (Merkle.root t) expected);
+  (* root of [a..e]: node(node(node(ab),node(cd)), e) *)
+  let t5 = Merkle.of_leaves [ "a"; "b"; "c"; "d"; "e" ] in
+  let ab = Hash.node (Hash.leaf "a") (Hash.leaf "b") in
+  let cd = Hash.node (Hash.leaf "c") (Hash.leaf "d") in
+  let expected5 = Hash.node (Hash.node ab cd) (Hash.leaf "e") in
+  Alcotest.(check bool) "5 leaves" true (Hash.equal (Merkle.root t5) expected5)
+
+let test_incremental_root_stability () =
+  (* appending must produce the same root as building from scratch *)
+  let all = leaves 257 in
+  let incremental = Merkle.create () in
+  List.iteri
+    (fun i leaf ->
+       ignore (Merkle.add_leaf incremental leaf);
+       let fresh = Merkle.of_leaves (List.filteri (fun j _ -> j <= i) all) in
+       if i mod 37 = 0 then
+         Alcotest.(check bool)
+           (Printf.sprintf "root at %d" i)
+           true
+           (Hash.equal (Merkle.root incremental) (Merkle.root fresh)))
+    all
+
+let test_inclusion_all_indices () =
+  let n = 100 in
+  let t = Merkle.of_leaves (leaves n) in
+  let root = Merkle.root t in
+  for i = 0 to n - 1 do
+    let proof = Merkle.prove_inclusion t i in
+    Alcotest.(check bool) (Printf.sprintf "index %d" i) true
+      (Merkle.verify_inclusion ~root ~size:n ~index:i ~leaf:(Merkle.leaf_hash t i) proof)
+  done
+
+let test_inclusion_rejects_tampering () =
+  let n = 64 in
+  let t = Merkle.of_leaves (leaves n) in
+  let root = Merkle.root t in
+  let proof = Merkle.prove_inclusion t 10 in
+  Alcotest.(check bool) "wrong leaf" false
+    (Merkle.verify_inclusion ~root ~size:n ~index:10 ~leaf:(Hash.leaf "forged") proof);
+  Alcotest.(check bool) "wrong index" false
+    (Merkle.verify_inclusion ~root ~size:n ~index:11 ~leaf:(Merkle.leaf_hash t 10) proof);
+  Alcotest.(check bool) "wrong root" false
+    (Merkle.verify_inclusion ~root:(Hash.of_string "bad") ~size:n ~index:10
+       ~leaf:(Merkle.leaf_hash t 10) proof);
+  Alcotest.(check bool) "truncated proof" false
+    (Merkle.verify_inclusion ~root ~size:n ~index:10 ~leaf:(Merkle.leaf_hash t 10)
+       (List.tl proof));
+  Alcotest.(check bool) "padded proof" false
+    (Merkle.verify_inclusion ~root ~size:n ~index:10 ~leaf:(Merkle.leaf_hash t 10)
+       (proof @ [ Hash.of_string "extra" ]))
+
+let test_consistency () =
+  let t = Merkle.create () in
+  List.iter (fun l -> ignore (Merkle.add_leaf t l)) (leaves 40);
+  let old_root = Merkle.root t and old_size = 40 in
+  List.iter (fun l -> ignore (Merkle.add_leaf t l)) (List.init 23 (fun i -> Printf.sprintf "x%d" i));
+  let proof = Merkle.prove_consistency t ~old_size in
+  Alcotest.(check bool) "valid" true
+    (Merkle.verify_consistency ~old_root ~old_size ~new_root:(Merkle.root t)
+       ~new_size:(Merkle.size t) proof);
+  Alcotest.(check bool) "wrong old root" false
+    (Merkle.verify_consistency ~old_root:(Hash.of_string "bad") ~old_size
+       ~new_root:(Merkle.root t) ~new_size:(Merkle.size t) proof);
+  Alcotest.(check bool) "wrong new root" false
+    (Merkle.verify_consistency ~old_root ~old_size ~new_root:(Hash.of_string "bad")
+       ~new_size:(Merkle.size t) proof)
+
+let test_consistency_rejects_rewrite () =
+  (* a "new" tree that dropped an old leaf is not consistent *)
+  let honest = Merkle.of_leaves (leaves 20) in
+  let old_root = Merkle.root honest in
+  let rewritten = Merkle.of_leaves ("evil" :: List.tl (leaves 20) @ leaves 5) in
+  (* the server can produce *a* proof for its own tree, but it cannot verify
+     against the honest old root *)
+  let forged = Merkle.prove_consistency rewritten ~old_size:20 in
+  Alcotest.(check bool) "rewrite detected" false
+    (Merkle.verify_consistency ~old_root ~old_size:20 ~new_root:(Merkle.root rewritten)
+       ~new_size:(Merkle.size rewritten) forged)
+
+let test_edge_consistency () =
+  let t = Merkle.of_leaves (leaves 10) in
+  Alcotest.(check bool) "m = n" true
+    (Merkle.verify_consistency ~old_root:(Merkle.root t) ~old_size:10
+       ~new_root:(Merkle.root t) ~new_size:10 []);
+  Alcotest.(check bool) "m = 0" true
+    (Merkle.verify_consistency ~old_root:Merkle.empty_root ~old_size:0
+       ~new_root:(Merkle.root t) ~new_size:10 [])
+
+let test_range_hash () =
+  let t = Merkle.of_leaves (leaves 13) in
+  Alcotest.(check bool) "full range = root" true
+    (Hash.equal (Merkle.range_hash t 0 13) (Merkle.root t));
+  (* a range hash must equal the root of a fresh tree over that range *)
+  let sub = Merkle.of_leaves (List.filteri (fun i _ -> i >= 8 && i < 13) (leaves 13)) in
+  Alcotest.(check bool) "suffix range" true
+    (Hash.equal (Merkle.range_hash t 8 13) (Merkle.root sub))
+
+let prop_inclusion =
+  QCheck.Test.make ~name:"inclusion proofs verify for random sizes" ~count:60
+    QCheck.(pair (int_range 1 300) (int_range 0 1000))
+    (fun (n, seed) ->
+       let t = Merkle.of_leaves (leaves n) in
+       let i = seed mod n in
+       Merkle.verify_inclusion ~root:(Merkle.root t) ~size:n ~index:i
+         ~leaf:(Merkle.leaf_hash t i) (Merkle.prove_inclusion t i))
+
+let prop_consistency =
+  QCheck.Test.make ~name:"consistency proofs verify for random splits" ~count:60
+    QCheck.(pair (int_range 1 200) (int_range 0 200))
+    (fun (m, extra) ->
+       let t = Merkle.of_leaves (leaves m) in
+       let old_root = Merkle.root t in
+       List.iter (fun i -> ignore (Merkle.add_leaf t (Printf.sprintf "e%d" i)))
+         (List.init extra Fun.id);
+       Merkle.verify_consistency ~old_root ~old_size:m ~new_root:(Merkle.root t)
+         ~new_size:(m + extra)
+         (Merkle.prove_consistency t ~old_size:m))
+
+let suite =
+  [
+    Alcotest.test_case "empty tree" `Quick test_empty;
+    Alcotest.test_case "single leaf" `Quick test_single;
+    Alcotest.test_case "RFC 6962 shape" `Quick test_rfc_shape;
+    Alcotest.test_case "incremental = rebuilt" `Quick test_incremental_root_stability;
+    Alcotest.test_case "inclusion all indices" `Quick test_inclusion_all_indices;
+    Alcotest.test_case "inclusion rejects tampering" `Quick test_inclusion_rejects_tampering;
+    Alcotest.test_case "consistency" `Quick test_consistency;
+    Alcotest.test_case "consistency rejects rewrite" `Quick test_consistency_rejects_rewrite;
+    Alcotest.test_case "consistency edges" `Quick test_edge_consistency;
+    Alcotest.test_case "range hash" `Quick test_range_hash;
+    QCheck_alcotest.to_alcotest prop_inclusion;
+    QCheck_alcotest.to_alcotest prop_consistency;
+  ]

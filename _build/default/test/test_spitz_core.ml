@@ -1,0 +1,166 @@
+open Spitz
+module Hash = Spitz_crypto.Hash
+
+(* --- universal keys --- *)
+
+let test_ukey_roundtrip () =
+  let uk = Universal_key.make ~column:"balance" ~pk:"alice" ~ts:42 ~vhash:(Hash.of_string "v") in
+  match Universal_key.decode (Universal_key.encode uk) with
+  | None -> Alcotest.fail "decode failed"
+  | Some uk' -> Alcotest.(check int) "roundtrip" 0 (Universal_key.compare uk uk')
+
+let test_ukey_ordering () =
+  let k column pk ts = Universal_key.encode (Universal_key.make ~column ~pk ~ts ~vhash:Hash.null) in
+  (* (column, pk, ts) lexicographic *)
+  Alcotest.(check bool) "column major" true (k "a" "z" 9 < k "b" "a" 0);
+  Alcotest.(check bool) "pk next" true (k "a" "x" 9 < k "a" "y" 0);
+  Alcotest.(check bool) "ts last" true (k "a" "x" 1 < k "a" "x" 2)
+
+let test_ukey_rejects_nul () =
+  Alcotest.check_raises "nul in pk" (Invalid_argument "Universal_key: pk contains NUL")
+    (fun () -> ignore (Universal_key.make ~column:"c" ~pk:"a\x00b" ~ts:0 ~vhash:Hash.null))
+
+let test_ukey_bounds () =
+  let lo, hi = Universal_key.cell_bounds ~column:"c" ~pk:"k" in
+  let inside = Universal_key.encode (Universal_key.make ~column:"c" ~pk:"k" ~ts:5 ~vhash:Hash.null) in
+  let other = Universal_key.encode (Universal_key.make ~column:"c" ~pk:"kk" ~ts:5 ~vhash:Hash.null) in
+  Alcotest.(check bool) "inside" true (lo <= inside && inside <= hi);
+  Alcotest.(check bool) "other pk outside" false (lo <= other && other <= hi)
+
+(* --- cell store --- *)
+
+let test_cell_store_versions () =
+  let cs = Cell_store.create () in
+  let _ = Cell_store.write_cell cs ~column:"v" ~pk:"k" ~ts:1 "one" in
+  let _ = Cell_store.write_cell cs ~column:"v" ~pk:"k" ~ts:5 "five" in
+  let _ = Cell_store.write_cell cs ~column:"v" ~pk:"other" ~ts:3 "x" in
+  Alcotest.(check (option string)) "latest" (Some "five") (Cell_store.read_value cs ~column:"v" ~pk:"k");
+  Alcotest.(check (option string)) "at ts 1" (Some "one")
+    (Cell_store.read_value ~ts:1 cs ~column:"v" ~pk:"k");
+  Alcotest.(check (option string)) "at ts 4" (Some "one")
+    (Cell_store.read_value ~ts:4 cs ~column:"v" ~pk:"k");
+  Alcotest.(check (option string)) "before first" None
+    (Cell_store.read_value ~ts:0 cs ~column:"v" ~pk:"k");
+  Alcotest.(check int) "versions" 2 (List.length (Cell_store.versions cs ~column:"v" ~pk:"k"));
+  Alcotest.(check int) "cells" 3 (Cell_store.cell_count cs)
+
+let test_cell_store_range () =
+  let cs = Cell_store.create () in
+  List.iter
+    (fun (pk, ts, v) -> ignore (Cell_store.write_cell cs ~column:"v" ~pk ~ts v))
+    [ ("a", 1, "a1"); ("a", 2, "a2"); ("b", 1, "b1"); ("c", 1, "c1"); ("c", 3, "c3") ];
+  let latest = Cell_store.range_latest_values cs ~column:"v" ~pk_lo:"a" ~pk_hi:"c" in
+  Alcotest.(check (list (pair string string))) "latest per pk"
+    [ ("a", "a2"); ("b", "b1"); ("c", "c3") ]
+    latest
+
+(* --- the Db facade --- *)
+
+let test_db_end_to_end () =
+  let db = Db.open_db () in
+  for i = 0 to 499 do
+    ignore (Db.put db (Printf.sprintf "k%03d" i) (Printf.sprintf "v%d" i))
+  done;
+  Alcotest.(check (option string)) "get" (Some "v42") (Db.get db "k042");
+  Alcotest.(check (option string)) "missing" None (Db.get db "zzz");
+  let digest = Db.digest db in
+  (* verified point read *)
+  let value, proof = Db.get_verified db "k042" in
+  Alcotest.(check bool) "verified read" true
+    (Db.verify_read ~digest ~key:"k042" ~value (Option.get proof));
+  Alcotest.(check bool) "lie rejected" false
+    (Db.verify_read ~digest ~key:"k042" ~value:(Some "evil") (Option.get proof));
+  (* verified range *)
+  let entries, rp = Db.range_verified db ~lo:"k100" ~hi:"k109" in
+  Alcotest.(check int) "10 rows" 10 (List.length entries);
+  Alcotest.(check bool) "range verifies" true
+    (Db.verify_range ~digest ~lo:"k100" ~hi:"k109" ~entries (Option.get rp));
+  (* unverified range agrees *)
+  Alcotest.(check bool) "plain range agrees" true (Db.range db ~lo:"k100" ~hi:"k109" = entries);
+  Alcotest.(check bool) "audit" true (Db.audit db)
+
+let test_db_history_and_snapshots () =
+  let db = Db.open_db () in
+  let h1 = Db.put db "k" "v1" in
+  ignore (Db.put db "other" "x");
+  let h2 = Db.put db "k" "v2" in
+  Alcotest.(check (option string)) "latest" (Some "v2") (Db.get db "k");
+  Alcotest.(check (option string)) "at h1" (Some "v1") (Db.get_at db ~height:h1 "k");
+  Alcotest.(check (option string)) "at h2" (Some "v2") (Db.get_at db ~height:h2 "k");
+  Alcotest.(check (list (pair int string))) "history" [ (h1, "v1"); (h2, "v2") ] (Db.history db "k")
+
+let test_db_write_receipts () =
+  let db = Db.open_db () in
+  ignore (Db.put db "setup" "x");
+  let _, receipt = Db.put_verified db "k" "v" in
+  Alcotest.(check bool) "receipt verifies" true
+    (Db.verify_write ~digest:(Db.digest db) receipt)
+
+let test_db_batch () =
+  let db = Db.open_db () in
+  let height = Db.put_batch db ~statements:[ "bulk load" ] [ ("a", "1"); ("b", "2"); ("c", "3") ] in
+  Alcotest.(check int) "one block" 0 height;
+  Alcotest.(check (option string)) "a" (Some "1") (Db.get db "a");
+  Alcotest.(check (option string)) "c" (Some "3") (Db.get db "c");
+  let receipts = Spitz.Auditor.receipts (Db.auditor db) ~height in
+  Alcotest.(check int) "three receipts" 3 (List.length receipts)
+
+let test_db_consistency_protocol () =
+  let db = Db.open_db () in
+  ignore (Db.put db "a" "1");
+  let d1 = Db.digest db in
+  ignore (Db.put db "b" "2");
+  ignore (Db.put db "c" "3");
+  let d2 = Db.digest db in
+  let proof = Db.consistency db ~old_size:d1.Spitz_ledger.Journal.size in
+  Alcotest.(check bool) "append-only" true
+    (Spitz_ledger.Journal.verify_consistency ~old_digest:d1 ~new_digest:d2 proof)
+
+let test_db_inverted_search () =
+  let db = Db.open_db ~with_inverted:true () in
+  ignore (Db.put db "u1" "amsterdam");
+  ignore (Db.put db "u2" "amsterdam");
+  ignore (Db.put db "u3" "berlin");
+  let hits = Db.search_value db "amsterdam" in
+  Alcotest.(check int) "two hits" 2 (List.length hits);
+  Alcotest.(check (list string)) "pks"
+    [ "u1"; "u2" ]
+    (List.sort compare (List.map (fun uk -> uk.Universal_key.pk) hits))
+
+(* tampering with the stored value must be caught by the verified read *)
+let test_db_detects_tampering () =
+  let db = Db.open_db () in
+  for i = 0 to 99 do
+    ignore (Db.put db (Printf.sprintf "k%02d" i) "honest")
+  done;
+  let digest = Db.digest db in
+  let value, proof = Db.get_verified db "k50" in
+  Alcotest.(check bool) "baseline verifies" true
+    (Db.verify_read ~digest ~key:"k50" ~value (Option.get proof));
+  (* a server serving a different value with the same proof is caught *)
+  Alcotest.(check bool) "tampered value caught" false
+    (Db.verify_read ~digest ~key:"k50" ~value:(Some "tampered") (Option.get proof));
+  (* a server serving a stale digest is caught by consistency checking in the
+     verifier; here we check a proof from another database entirely *)
+  let other = Db.open_db () in
+  ignore (Db.put other "k50" "tampered");
+  let v2, p2 = Db.get_verified other "k50" in
+  Alcotest.(check bool) "foreign proof rejected" false
+    (Db.verify_read ~digest ~key:"k50" ~value:v2 (Option.get p2))
+
+let suite =
+  [
+    Alcotest.test_case "universal key roundtrip" `Quick test_ukey_roundtrip;
+    Alcotest.test_case "universal key ordering" `Quick test_ukey_ordering;
+    Alcotest.test_case "universal key rejects NUL" `Quick test_ukey_rejects_nul;
+    Alcotest.test_case "universal key bounds" `Quick test_ukey_bounds;
+    Alcotest.test_case "cell store versions" `Quick test_cell_store_versions;
+    Alcotest.test_case "cell store range" `Quick test_cell_store_range;
+    Alcotest.test_case "db end to end" `Quick test_db_end_to_end;
+    Alcotest.test_case "db history + snapshots" `Quick test_db_history_and_snapshots;
+    Alcotest.test_case "db write receipts" `Quick test_db_write_receipts;
+    Alcotest.test_case "db batch" `Quick test_db_batch;
+    Alcotest.test_case "db consistency protocol" `Quick test_db_consistency_protocol;
+    Alcotest.test_case "db inverted search" `Quick test_db_inverted_search;
+    Alcotest.test_case "db detects tampering" `Quick test_db_detects_tampering;
+  ]

@@ -1,0 +1,232 @@
+open Spitz_storage
+
+(* --- content-defined chunking --- *)
+
+let test_chunk_concat () =
+  let data = String.init 100_000 (fun i -> Char.chr (i * 31 mod 256)) in
+  Alcotest.(check string) "concat" data (String.concat "" (Chunk.split data))
+
+let test_chunk_bounds () =
+  let data = String.init 200_000 (fun i -> Char.chr (i * 131 mod 256)) in
+  let chunks = Chunk.split data in
+  List.iteri
+    (fun i c ->
+       let len = String.length c in
+       Alcotest.(check bool)
+         (Printf.sprintf "chunk %d within max" i)
+         true
+         (len <= Chunk.default_params.Chunk.max_size);
+       (* only the final chunk may be under the minimum *)
+       if i < List.length chunks - 1 then
+         Alcotest.(check bool)
+           (Printf.sprintf "chunk %d above min" i)
+           true
+           (len >= Chunk.default_params.Chunk.min_size))
+    chunks
+
+let test_chunk_empty () =
+  Alcotest.(check (list string)) "empty input" [ "" ] (Chunk.split "")
+
+let test_chunk_determinism () =
+  let data = String.init 50_000 (fun i -> Char.chr (i * 7 mod 251)) in
+  Alcotest.(check bool) "same input, same cuts" true
+    (Chunk.boundaries data = Chunk.boundaries data)
+
+(* a localized edit must leave most chunks identical *)
+let test_chunk_edit_locality () =
+  let data = String.init 100_000 (fun i -> Char.chr (i * 31 mod 256)) in
+  let edited =
+    String.sub data 0 50_000 ^ "XXXXXXXX" ^ String.sub data 50_008 (100_000 - 50_008)
+  in
+  let module SS = Set.Make (String) in
+  let before = SS.of_list (Chunk.split data) in
+  let after = Chunk.split edited in
+  let shared = List.length (List.filter (fun c -> SS.mem c before) after) in
+  Alcotest.(check bool) "most chunks shared" true
+    (float_of_int shared /. float_of_int (List.length after) > 0.7)
+
+let prop_chunk_roundtrip =
+  QCheck.Test.make ~name:"chunk split concatenates back" ~count:100
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 40_000) QCheck.Gen.char)
+    (fun data -> String.equal data (String.concat "" (Chunk.split data)))
+
+(* --- object store --- *)
+
+let test_store_dedup () =
+  let s = Object_store.create () in
+  let h1 = Object_store.put s "hello" in
+  let h2 = Object_store.put s "hello" in
+  Alcotest.(check bool) "same address" true (Spitz_crypto.Hash.equal h1 h2);
+  Alcotest.(check int) "one object" 1 (Object_store.object_count s);
+  let st = Object_store.stats s in
+  Alcotest.(check int) "dedup hit" 1 st.Object_store.dedup_hits;
+  Alcotest.(check int) "physical" 5 st.Object_store.physical_bytes;
+  Alcotest.(check int) "logical" 10 st.Object_store.logical_bytes
+
+let test_store_refcount () =
+  let s = Object_store.create () in
+  let h = Object_store.put s "x" in
+  ignore (Object_store.put s "x");
+  Object_store.release s h;
+  Alcotest.(check bool) "still present" true (Object_store.mem s h);
+  Object_store.release s h;
+  Alcotest.(check bool) "gone" false (Object_store.mem s h);
+  Alcotest.(check int) "physical back to 0" 0 (Object_store.stats s).Object_store.physical_bytes
+
+let test_store_get_missing () =
+  let s = Object_store.create () in
+  Alcotest.(check (option string)) "missing" None
+    (Object_store.get s (Spitz_crypto.Hash.of_string "nothing"))
+
+let test_blob_roundtrip () =
+  let s = Object_store.create () in
+  let big = String.init 100_000 (fun i -> Char.chr (i mod 256)) in
+  let h = Object_store.put_blob s big in
+  Alcotest.(check (option string)) "roundtrip" (Some big) (Object_store.get_blob s h);
+  (* small values are stored raw *)
+  let h2 = Object_store.put_blob s "small" in
+  Alcotest.(check (option string)) "small" (Some "small") (Object_store.get_blob s h2)
+
+let test_blob_descriptor_collision () =
+  (* a value that starts with the descriptor magic must roundtrip *)
+  let s = Object_store.create () in
+  let tricky = "SPITZBLOB1" ^ String.make 64 'z' in
+  let h = Object_store.put_blob s tricky in
+  Alcotest.(check (option string)) "roundtrip" (Some tricky) (Object_store.get_blob s h)
+
+let test_blob_dedup_on_edit () =
+  let s = Object_store.create () in
+  let page = String.init 65_536 (fun i -> Char.chr (i * 31 mod 256)) in
+  ignore (Object_store.put_blob s page);
+  let before = (Object_store.stats s).Object_store.physical_bytes in
+  let edited = String.sub page 0 30_000 ^ "EDIT" ^ String.sub page 30_004 (65_536 - 30_004) in
+  ignore (Object_store.put_blob s edited);
+  let added = (Object_store.stats s).Object_store.physical_bytes - before in
+  Alcotest.(check bool) "edit adds far less than a full copy" true (added < 30_000)
+
+let prop_blob_roundtrip =
+  QCheck.Test.make ~name:"put_blob/get_blob roundtrip" ~count:100
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 30_000) QCheck.Gen.char)
+    (fun data ->
+       let s = Object_store.create () in
+       Object_store.get_blob s (Object_store.put_blob s data) = Some data)
+
+(* --- version DAG --- *)
+
+let test_version_commits () =
+  let s = Object_store.create () in
+  let v = Version.create s in
+  let root1 = Object_store.put s "state1" in
+  let c1 = Version.commit_on_branch v ~branch:"main" ~root:root1 ~message:"first" in
+  let root2 = Object_store.put s "state2" in
+  let c2 = Version.commit_on_branch v ~branch:"main" ~root:root2 ~message:"second" in
+  Alcotest.(check bool) "head" true (Version.branch_head v "main" = Some c2);
+  let hist = Version.history v c2 in
+  Alcotest.(check int) "history length" 2 (List.length hist);
+  Alcotest.(check bool) "ancestor" true (Version.is_ancestor v ~ancestor:c1 ~descendant:c2);
+  Alcotest.(check bool) "not descendant" false (Version.is_ancestor v ~ancestor:c2 ~descendant:c1)
+
+let test_version_branches_and_lca () =
+  let s = Object_store.create () in
+  let v = Version.create s in
+  let base = Version.commit_on_branch v ~branch:"main" ~root:(Object_store.put s "base") ~message:"base" in
+  Version.set_branch v "feature" base;
+  let m1 = Version.commit_on_branch v ~branch:"main" ~root:(Object_store.put s "m1") ~message:"m1" in
+  let f1 = Version.commit_on_branch v ~branch:"feature" ~root:(Object_store.put s "f1") ~message:"f1" in
+  Alcotest.(check bool) "lca is base" true (Version.lca v m1 f1 = Some base);
+  (* a merge commit with two parents *)
+  let merge =
+    Version.commit v ~parents:[ m1; f1 ] ~root:(Object_store.put s "merged") ~message:"merge"
+  in
+  Alcotest.(check bool) "merge descends from both" true
+    (Version.is_ancestor v ~ancestor:m1 ~descendant:merge
+     && Version.is_ancestor v ~ancestor:f1 ~descendant:merge);
+  Alcotest.(check int) "branches" 2 (List.length (Version.branches v))
+
+let test_version_identical_commits_share () =
+  let s = Object_store.create () in
+  let v = Version.create s in
+  let root = Object_store.put s "same" in
+  let a = Version.commit v ~parents:[] ~root ~message:"m" in
+  let b = Version.commit v ~parents:[] ~root ~message:"m" in
+  (* different sequence numbers make them distinct commits *)
+  Alcotest.(check bool) "distinct" false (Spitz_crypto.Hash.equal a b)
+
+(* --- wire format --- *)
+
+let test_wire_roundtrip () =
+  let buf = Wire.writer () in
+  Wire.write_varint buf 0;
+  Wire.write_varint buf 300;
+  Wire.write_varint buf 1_000_000_007;
+  Wire.write_string buf "hello";
+  Wire.write_string buf "";
+  Wire.write_byte buf 'Z';
+  Wire.write_hash buf (Spitz_crypto.Hash.of_string "w");
+  Wire.write_list buf Wire.write_string [ "a"; "bb"; "ccc" ];
+  let r = Wire.reader (Wire.contents buf) in
+  Alcotest.(check int) "varint 0" 0 (Wire.read_varint r);
+  Alcotest.(check int) "varint 300" 300 (Wire.read_varint r);
+  Alcotest.(check int) "varint big" 1_000_000_007 (Wire.read_varint r);
+  Alcotest.(check string) "string" "hello" (Wire.read_string r);
+  Alcotest.(check string) "empty string" "" (Wire.read_string r);
+  Alcotest.(check char) "byte" 'Z' (Wire.read_byte r);
+  Alcotest.(check bool) "hash" true
+    (Spitz_crypto.Hash.equal (Spitz_crypto.Hash.of_string "w") (Wire.read_hash r));
+  Alcotest.(check (list string)) "list" [ "a"; "bb"; "ccc" ] (Wire.read_list r Wire.read_string);
+  Alcotest.(check bool) "at end" true (Wire.at_end r)
+
+let test_wire_truncation () =
+  let check_malformed name f =
+    match f () with
+    | exception Wire.Malformed _ -> ()
+    | _ -> Alcotest.failf "%s: expected Malformed" name
+  in
+  check_malformed "varint" (fun () -> Wire.read_varint (Wire.reader ""));
+  check_malformed "string" (fun () -> Wire.read_string (Wire.reader "\005ab"));
+  check_malformed "hash" (fun () -> Wire.read_hash (Wire.reader "short"));
+  check_malformed "byte" (fun () -> Wire.read_byte (Wire.reader ""))
+
+let prop_wire_varint =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:500
+    QCheck.(int_bound max_int)
+    (fun n ->
+       let buf = Wire.writer () in
+       Wire.write_varint buf n;
+       Wire.read_varint (Wire.reader (Wire.contents buf)) = n)
+
+let suite =
+  [
+    Alcotest.test_case "chunk concat" `Quick test_chunk_concat;
+    Alcotest.test_case "chunk size bounds" `Quick test_chunk_bounds;
+    Alcotest.test_case "chunk empty" `Quick test_chunk_empty;
+    Alcotest.test_case "chunk determinism" `Quick test_chunk_determinism;
+    Alcotest.test_case "chunk edit locality" `Quick test_chunk_edit_locality;
+    QCheck_alcotest.to_alcotest prop_chunk_roundtrip;
+    Alcotest.test_case "store dedup" `Quick test_store_dedup;
+    Alcotest.test_case "store refcount" `Quick test_store_refcount;
+    Alcotest.test_case "store get missing" `Quick test_store_get_missing;
+    Alcotest.test_case "blob roundtrip" `Quick test_blob_roundtrip;
+    Alcotest.test_case "blob descriptor collision" `Quick test_blob_descriptor_collision;
+    Alcotest.test_case "blob dedup on edit" `Quick test_blob_dedup_on_edit;
+    QCheck_alcotest.to_alcotest prop_blob_roundtrip;
+    Alcotest.test_case "version commits" `Quick test_version_commits;
+    Alcotest.test_case "version branches and lca" `Quick test_version_branches_and_lca;
+    Alcotest.test_case "version distinct commits" `Quick test_version_identical_commits_share;
+    Alcotest.test_case "wire roundtrip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire truncation" `Quick test_wire_truncation;
+    QCheck_alcotest.to_alcotest prop_wire_varint;
+  ]
+
+(* decoding never crashes on arbitrary bytes: it either succeeds or raises
+   Wire.Malformed — the property every network/storage-facing codec needs *)
+let prop_wire_decode_total =
+  QCheck.Test.make ~name:"wire decoding is total on garbage" ~count:300
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 200) QCheck.Gen.char)
+    (fun data ->
+       let safe f = match f (Wire.reader data) with _ -> true | exception Wire.Malformed _ -> true in
+       safe Wire.read_varint && safe Wire.read_string && safe Wire.read_hash
+       && safe (fun r -> Wire.read_list r Wire.read_string))
+
+let suite =
+  suite @ [ QCheck_alcotest.to_alcotest prop_wire_decode_total ]

@@ -1,0 +1,199 @@
+(* The comparison systems: immutable KVS, QLDB-like baseline, non-intrusive
+   combination — plus the workload generators that drive them. *)
+
+module Kv = Spitz_kvstore.Kv
+module B = Spitz_baseline.Baseline_db
+module C = Spitz_nonintrusive.Combined
+open Spitz_workload
+
+(* --- immutable KVS --- *)
+
+let test_kv_versions () =
+  let kv = Kv.create () in
+  let v1 = Kv.put kv "k" "one" in
+  let v2 = Kv.put kv "k" "two" in
+  Alcotest.(check bool) "versions increase" true (v2 > v1);
+  Alcotest.(check (option string)) "latest" (Some "two") (Kv.get kv "k");
+  Alcotest.(check (option string)) "old version" (Some "one") (Kv.get_version kv "k" ~version:v1);
+  Alcotest.(check (option string)) "before creation" None (Kv.get_version kv "k" ~version:0);
+  Alcotest.(check (list (pair int string))) "history" [ (v1, "one"); (v2, "two") ] (Kv.history kv "k");
+  Alcotest.(check int) "one live key" 1 (Kv.cardinal kv)
+
+let test_kv_immutable_values_dedup () =
+  let kv = Kv.create () in
+  ignore (Kv.put kv "a" "shared-value");
+  ignore (Kv.put kv "b" "shared-value");
+  let stats = Spitz_storage.Object_store.stats (Kv.store kv) in
+  Alcotest.(check int) "identical values stored once" 1 stats.Spitz_storage.Object_store.dedup_hits
+
+let test_kv_range () =
+  let kv = Kv.create () in
+  for i = 0 to 99 do
+    ignore (Kv.put kv (Printf.sprintf "k%02d" i) (string_of_int i))
+  done;
+  Alcotest.(check int) "range" 10 (List.length (Kv.range kv ~lo:"k10" ~hi:"k19"))
+
+(* --- baseline --- *)
+
+let test_baseline_end_to_end () =
+  let b = B.create () in
+  for i = 0 to 199 do
+    ignore (B.put b (Printf.sprintf "k%03d" i) (Printf.sprintf "v%d" i))
+  done;
+  Alcotest.(check (option string)) "get" (Some "v7") (B.get b "k007");
+  Alcotest.(check int) "cardinal" 200 (B.cardinal b);
+  let digest = B.digest b in
+  let value, proof = B.get_verified b "k007" in
+  Alcotest.(check bool) "verifies" true
+    (B.verify ~digest ~key:"k007" ~value:(Option.get value) (Option.get proof));
+  Alcotest.(check bool) "forged value fails" false
+    (B.verify ~digest ~key:"k007" ~value:"evil" (Option.get proof));
+  Alcotest.(check bool) "audit" true (B.audit b)
+
+let test_baseline_versions () =
+  let b = B.create () in
+  ignore (B.put b "k" "v1");
+  ignore (B.put b "other" "x");
+  ignore (B.put b "k" "v2");
+  Alcotest.(check (option string)) "latest" (Some "v2") (B.get b "k");
+  Alcotest.(check (option string)) "as of version 1" (Some "v1") (B.get_version b "k" ~version:1);
+  Alcotest.(check (option string)) "as of version 99" (Some "v2") (B.get_version b "k" ~version:99)
+
+let test_baseline_range_verified () =
+  let b = B.create () in
+  for i = 0 to 99 do
+    ignore (B.put b (Printf.sprintf "k%02d" i) (string_of_int i))
+  done;
+  let digest = B.digest b in
+  let results, proofs = B.range_verified b ~lo:"k20" ~hi:"k29" in
+  Alcotest.(check int) "10 results" 10 (List.length results);
+  Alcotest.(check int) "one proof per record" 10 (List.length proofs);
+  Alcotest.(check bool) "all verify" true (B.verify_range ~digest results proofs);
+  Alcotest.(check bool) "tampered row fails" false
+    (B.verify_range ~digest (("k20", "evil") :: List.tl results) proofs)
+
+let test_baseline_proof_stale_after_update () =
+  (* the shadow tree root moves with every write: an old proof no longer
+     verifies against the new digest (the client must re-fetch) *)
+  let b = B.create () in
+  ignore (B.put b "k" "v1");
+  let _, proof = B.get_verified b "k" in
+  ignore (B.put b "k2" "v2");
+  let digest' = B.digest b in
+  Alcotest.(check bool) "stale proof fails against new digest" false
+    (B.verify ~digest:digest' ~key:"k" ~value:"v1" (Option.get proof))
+
+(* --- non-intrusive design --- *)
+
+let test_combined_end_to_end () =
+  let c = C.create () in
+  for i = 0 to 99 do
+    C.put c (Printf.sprintf "k%02d" i) (Printf.sprintf "v%d" i)
+  done;
+  Alcotest.(check (option string)) "get" (Some "v7") (C.get c "k07");
+  let digest = C.digest c in
+  let value, proof = C.get_verified c "k07" in
+  Alcotest.(check bool) "verifies" true
+    (C.verify_read ~digest ~key:"k07" ~value (Option.get proof));
+  let entries, rproof = C.range_verified c ~lo:"k10" ~hi:"k19" in
+  Alcotest.(check int) "range" 10 (List.length entries);
+  Alcotest.(check bool) "range verifies" true
+    (C.verify_range ~digest ~lo:"k10" ~hi:"k19" ~entries (Option.get rproof))
+
+let test_combined_pays_ipc () =
+  let c = C.create () in
+  C.put c "k" "v";
+  ignore (C.get c "k");
+  ignore (C.get_verified c "k");
+  let stats = C.ipc_stats c in
+  (* put = 2 calls (underlying + ledger); get = 1; get_verified = 2 *)
+  Alcotest.(check int) "cross-system calls" 5 stats.Spitz_nonintrusive.Ipc.calls;
+  Alcotest.(check bool) "bytes marshalled" true (stats.Spitz_nonintrusive.Ipc.bytes_out > 0)
+
+(* the two systems agree with each other *)
+let test_combined_consistency () =
+  let c = C.create () in
+  for i = 0 to 49 do
+    C.put c (Printf.sprintf "k%02d" i) (Printf.sprintf "v%d" i)
+  done;
+  let digest = C.digest c in
+  for i = 0 to 49 do
+    let key = Printf.sprintf "k%02d" i in
+    let value, proof = C.get_verified c key in
+    Alcotest.(check (option string)) key (Some (Printf.sprintf "v%d" i)) value;
+    Alcotest.(check bool) ("proof " ^ key) true
+      (C.verify_read ~digest ~key ~value (Option.get proof))
+  done
+
+(* --- workload generators --- *)
+
+let test_keygen_unique_and_ordered () =
+  let n = 20_000 in
+  let keys = Array.init n Keygen.key_of in
+  let module SS = Set.Make (String) in
+  Alcotest.(check int) "unique" n (SS.cardinal (SS.of_list (Array.to_list keys)));
+  for i = 0 to n - 2 do
+    if not (String.compare keys.(i) keys.(i + 1) < 0) then
+      Alcotest.failf "keys %d and %d out of order" i (i + 1)
+  done
+
+let test_keygen_shapes () =
+  for i = 0 to 1000 do
+    let k = Keygen.key_of i in
+    let len = String.length k in
+    if len < 5 || len > 12 then Alcotest.failf "key %d has length %d" i len
+  done;
+  Alcotest.(check int) "value length" 20 (String.length (Keygen.value_of "k"));
+  Alcotest.(check bool) "versioned values differ" true
+    (Keygen.value_of ~version:1 "k" <> Keygen.value_of ~version:2 "k")
+
+let test_range_bounds () =
+  let lo, hi = Keygen.range_bounds ~lo:100 ~hi:149 in
+  let selected = ref 0 in
+  for i = 0 to 999 do
+    let k = Keygen.key_of i in
+    if String.compare lo k <= 0 && String.compare k hi <= 0 then incr selected
+  done;
+  Alcotest.(check int) "exactly the span" 50 !selected
+
+let test_zipfian_skew () =
+  let rng = Keygen.rng 99 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let i = Keygen.pick rng (Keygen.Zipfian 0.9) 100 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  (* the head of the distribution must be much hotter than the tail *)
+  let head = counts.(0) + counts.(1) + counts.(2) in
+  let tail = counts.(97) + counts.(98) + counts.(99) in
+  Alcotest.(check bool) "skewed" true (head > 5 * (tail + 1))
+
+let test_wiki_edits_are_local () =
+  let w = Wiki.create () in
+  let before = Wiki.pages w in
+  let idx, edited = Wiki.edit w in
+  let original = List.nth before idx in
+  Alcotest.(check int) "same length" (String.length original) (String.length edited);
+  let differing = ref 0 in
+  String.iteri (fun i c -> if c <> original.[i] then incr differing) edited;
+  Alcotest.(check bool) "local edit" true (!differing <= 256);
+  Alcotest.(check bool) "actually edited" true (!differing > 0)
+
+let suite =
+  [
+    Alcotest.test_case "kv versions" `Quick test_kv_versions;
+    Alcotest.test_case "kv value dedup" `Quick test_kv_immutable_values_dedup;
+    Alcotest.test_case "kv range" `Quick test_kv_range;
+    Alcotest.test_case "baseline end to end" `Quick test_baseline_end_to_end;
+    Alcotest.test_case "baseline versions" `Quick test_baseline_versions;
+    Alcotest.test_case "baseline range verified" `Quick test_baseline_range_verified;
+    Alcotest.test_case "baseline stale proof" `Quick test_baseline_proof_stale_after_update;
+    Alcotest.test_case "non-intrusive end to end" `Quick test_combined_end_to_end;
+    Alcotest.test_case "non-intrusive ipc accounting" `Quick test_combined_pays_ipc;
+    Alcotest.test_case "non-intrusive consistency" `Quick test_combined_consistency;
+    Alcotest.test_case "keygen unique+ordered" `Quick test_keygen_unique_and_ordered;
+    Alcotest.test_case "keygen shapes" `Quick test_keygen_shapes;
+    Alcotest.test_case "range bounds" `Quick test_range_bounds;
+    Alcotest.test_case "zipfian skew" `Quick test_zipfian_skew;
+    Alcotest.test_case "wiki edits local" `Quick test_wiki_edits_are_local;
+  ]
