@@ -8,25 +8,61 @@
      siri         SIRI-family ablation (POS-tree / MPT / MBT / Merkle B+)
      verify-mode  online vs deferred verification (section 5.3)
      cc           concurrency-control ablation (section 5.2)
+     pipeline     multicore commit pipeline: 1 domain vs N domains
      bechamel     Bechamel micro-benchmarks, one test per figure
      all          everything above
 
-   Options: --scale N   divide the paper's record counts by N (default 4;
-                        use --scale 1 for the full 10k..1.28M sweep)
-            --ops N     operations measured per data point (default 10000)
+   Options: --scale N    divide the paper's record counts by N (default 4;
+                         use --scale 1 for the full 10k..1.28M sweep)
+            --ops N      operations measured per data point (default 10000)
+            --domains N  pool size for the pipeline bench (default: the
+                         machine's recommended domain count)
+            --out FILE   machine-readable results (default BENCH_results.json)
 
-   Throughputs are reported in 10^3 ops/s, the unit of the paper's y-axes. *)
+   Throughputs are reported in 10^3 ops/s, the unit of the paper's y-axes.
+   All timings are wall-clock (Runner.now) — CPU time would sum over
+   domains and hide every multicore speedup.
+
+   Alongside the tables, every run appends its numbers to a JSON document
+   written to --out, so the perf trajectory is trackable across PRs. *)
 
 open Spitz_workload
 
 let scale = ref 4
 let ops = ref 10_000
+let domains = ref 0 (* 0 = auto *)
+let out_file = ref "BENCH_results.json"
+
+let pool_size () = if !domains > 0 then !domains else Spitz_exec.Pool.default_size ()
 
 (* ---------- helpers ---------- *)
 
 let pr fmt = Printf.printf fmt
 
-let header title cols =
+(* JSON results, accumulated by every figure and dumped once at exit. *)
+module J = Spitz.Json
+
+let results : (string * J.t) list ref = ref []
+
+let add_result key v = results := (key, v) :: !results
+
+(* The table-printing figures also stream their rows into [results] under
+   the key set by [header ~key]. *)
+let cur_key = ref ""
+let cur_cols = ref []
+let cur_rows = ref []
+
+let flush_fig () =
+  if !cur_key <> "" then begin
+    add_result !cur_key (J.Arr (List.rev !cur_rows));
+    cur_key := "";
+    cur_rows := []
+  end
+
+let header ?(key = "") title cols =
+  flush_fig ();
+  cur_key := key;
+  cur_cols := cols;
   pr "\n== %s ==\n" title;
   flush stdout;
   pr "%-10s" "#records";
@@ -37,7 +73,13 @@ let row n cells =
   pr "%-10d" n;
   List.iter (fun v -> pr "%14.1f" v) cells;
   pr "\n";
-  flush stdout
+  flush stdout;
+  if !cur_key <> "" then
+    cur_rows :=
+      J.Obj
+        (("records", J.Num (float_of_int n))
+         :: List.map2 (fun c v -> (c, J.Num v)) !cur_cols cells)
+      :: !cur_rows
 
 let keys_upto n = Array.init n Keygen.key_of
 
@@ -83,25 +125,37 @@ let fig1 () =
   (* version 0: initial pages *)
   List.iter (fun p -> ignore (Spitz_storage.Object_store.put_blob store p)) (Wiki.pages wiki);
   let naive = ref (List.fold_left (fun a p -> a + String.length p) 0 (Wiki.pages wiki)) in
+  let json_rows = ref [] in
   for v = 1 to 60 do
     let _, page = Wiki.edit wiki in
     naive := !naive + String.length page; (* a full snapshot of the edited page *)
     ignore (Spitz_storage.Object_store.put_blob store page);
     if v mod 10 = 0 then begin
       let st = Spitz_storage.Object_store.stats store in
+      let physical = st.Spitz_storage.Object_store.physical_bytes in
       pr "%-10d%18.1f%18.1f%12.2f\n" v
         (float_of_int !naive /. 1024.)
-        (float_of_int st.Spitz_storage.Object_store.physical_bytes /. 1024.)
-        (float_of_int !naive /. float_of_int st.Spitz_storage.Object_store.physical_bytes)
+        (float_of_int physical /. 1024.)
+        (float_of_int !naive /. float_of_int physical);
+      json_rows :=
+        J.Obj
+          [
+            ("versions", J.Num (float_of_int v));
+            ("naive_bytes", J.Num (float_of_int !naive));
+            ("dedup_bytes", J.Num (float_of_int physical));
+            ("dedup_ratio", J.Num (float_of_int !naive /. float_of_int physical));
+          ]
+        :: !json_rows
     end
   done;
+  add_result "fig1" (J.Arr (List.rev !json_rows));
   pr "(expected shape: naive grows at ~16 KB per version; the content-addressed\n";
   pr " store grows at roughly the edit size, so the gap widens with versions)\n"
 
 (* ---------- Figure 6(a): read throughput ---------- *)
 
 let fig6a () =
-  header "Figure 6(a): point reads, single thread (10^3 ops/s)"
+  header ~key:"fig6a" "Figure 6(a): point reads, single thread (10^3 ops/s)"
     [ "kvs"; "spitz"; "spitz-vrf"; "baseline"; "base-vrf" ];
   List.iter
     (fun n ->
@@ -143,7 +197,7 @@ let fig6a () =
 (* ---------- Figure 6(b): write throughput ---------- *)
 
 let fig6b () =
-  header "Figure 6(b): writes, single thread (10^3 ops/s)"
+  header ~key:"fig6b" "Figure 6(b): writes, single thread (10^3 ops/s)"
     [ "kvs"; "spitz"; "spitz-vrf"; "baseline"; "base-vrf" ];
   List.iter
     (fun n ->
@@ -192,7 +246,7 @@ let fig6b () =
 (* ---------- Figure 7: range queries, 0.1%% selectivity ---------- *)
 
 let fig7 () =
-  header "Figure 7: range queries, 0.1% selectivity (10^3 queries/s)"
+  header ~key:"fig7" "Figure 7: range queries, 0.1% selectivity (10^3 queries/s)"
     [ "kvs"; "spitz"; "spitz-vrf"; "baseline"; "base-vrf" ];
   List.iter
     (fun n ->
@@ -245,6 +299,7 @@ let fig7 () =
 
 let fig8 ~write () =
   header
+    ~key:(if write then "fig8b" else "fig8a")
     (if write then "Figure 8(b): non-intrusive vs Spitz, writes (10^3 ops/s)"
      else "Figure 8(a): non-intrusive vs Spitz, reads (10^3 ops/s)")
     [ "spitz"; "spitz-vrf"; "non-intr"; "non-i-vrf" ];
@@ -329,15 +384,17 @@ let siri () =
   pr "\n== SIRI ablation: %d records, %d updates ==\n" n updates;
   pr "%-14s%12s%12s%12s%14s%14s%14s%12s\n" "index" "build(s)" "get k/s" "vrf k/s"
     "proof(B)" "range-p(B)" "upd-bytes" "invariant";
+  let json_rows = ref [] in
   let bench (module S : Spitz_adt.Siri.S) =
     let store = Spitz_storage.Object_store.create () in
-    let t0 = Sys.time () in
     let t = ref (S.create store) in
-    for i = 0 to n - 1 do
-      let k = Keygen.key_of i in
-      t := S.insert !t k (Keygen.value_of k)
-    done;
-    let build = Sys.time () -. t0 in
+    let (), build =
+      Runner.time (fun () ->
+          for i = 0 to n - 1 do
+            let k = Keygen.key_of i in
+            t := S.insert !t k (Keygen.value_of k)
+          done)
+    in
     let rng = Keygen.rng 11 in
     let pick () = Keygen.key_of (Keygen.int rng n) in
     let t_get = Runner.time_ops ~ops:20_000 (fun _ -> ignore (S.get !t (pick ()))) in
@@ -376,12 +433,26 @@ let siri () =
     in
     pr "%-14s%12.2f%12.1f%12.1f%14d%14d%14d%12s\n" S.name build (Runner.kops t_get)
       (Runner.kops t_vrf) (Spitz_adt.Siri.proof_size p) (Spitz_adt.Siri.proof_size rp)
-      ((after - before) / updates) (if invariant then "yes" else "no")
+      ((after - before) / updates) (if invariant then "yes" else "no");
+    json_rows :=
+      J.Obj
+        [
+          ("index", J.Str S.name);
+          ("build_seconds", J.Num build);
+          ("get_kops", J.Num (Runner.kops t_get));
+          ("verify_kops", J.Num (Runner.kops t_vrf));
+          ("proof_bytes", J.Num (float_of_int (Spitz_adt.Siri.proof_size p)));
+          ("range_proof_bytes", J.Num (float_of_int (Spitz_adt.Siri.proof_size rp)));
+          ("bytes_per_update", J.Num (float_of_int ((after - before) / updates)));
+          ("structurally_invariant", J.Bool invariant);
+        ]
+      :: !json_rows
   in
   bench (module Spitz_adt.Pos_tree);
   bench (module Spitz_adt.Merkle_bptree);
   bench (module Spitz_adt.Mpt);
   bench (module Spitz_adt.Mbt);
+  add_result "siri" (J.Arr (List.rev !json_rows));
   pr "(expected shape, per [59]: MBT has compact point proofs but whole-tree\n";
   pr " range proofs; MPT and the Merkle B+-tree have small proofs; POS-tree\n";
   pr " trades larger content-defined nodes for structural invariance — the\n";
@@ -399,17 +470,15 @@ let learned () =
   let rng = Keygen.rng 77 in
   let pick () = Keygen.key_of (Keygen.int rng n) in
   (* learned *)
-  let t0 = Sys.time () in
-  let li = Spitz_index.Learned_index.build ~max_error:32 entries in
-  let li_build = Sys.time () -. t0 in
+  let li, li_build = Runner.time (fun () -> Spitz_index.Learned_index.build ~max_error:32 entries) in
   let li_get = Runner.time_ops ~ops:200_000 (fun _ -> ignore (Spitz_index.Learned_index.get li (pick ()))) in
   pr "%-16s%14.2f%14.1f%14d\n" "learned" li_build (Runner.kops li_get)
     (Spitz_index.Learned_index.segments li);
   (* b+-tree *)
-  let t0 = Sys.time () in
   let bt = Spitz_index.Bptree.create () in
-  List.iter (fun (k, v) -> Spitz_index.Bptree.insert bt k v) entries;
-  let bt_build = Sys.time () -. t0 in
+  let (), bt_build =
+    Runner.time (fun () -> List.iter (fun (k, v) -> Spitz_index.Bptree.insert bt k v) entries)
+  in
   let bt_get = Runner.time_ops ~ops:200_000 (fun _ -> ignore (Spitz_index.Bptree.get bt (pick ()))) in
   pr "%-16s%14.2f%14.1f%14s\n" "b+-tree" bt_build (Runner.kops bt_get) "-";
   (* plain binary search over the sorted array *)
@@ -425,6 +494,17 @@ let learned () =
         ignore !lo)
   in
   pr "%-16s%14s%14.1f%14s\n" "binary-search" "-" (Runner.kops bin_get) "-";
+  add_result "learned"
+    (J.Obj
+       [
+         ("keys", J.Num (float_of_int n));
+         ("learned_build_seconds", J.Num li_build);
+         ("learned_get_kops", J.Num (Runner.kops li_get));
+         ("learned_segments", J.Num (float_of_int (Spitz_index.Learned_index.segments li)));
+         ("bptree_build_seconds", J.Num bt_build);
+         ("bptree_get_kops", J.Num (Runner.kops bt_get));
+         ("binary_search_get_kops", J.Num (Runner.kops bin_get));
+       ]);
   pr "(section 7.1 extension: on this sorted, learnable key distribution the\n";
   pr " model replaces the tree's inner levels with a handful of line segments;\n";
   pr " the win over binary search comes from skipping the first ~log2(n/err)\n";
@@ -494,8 +574,17 @@ let verify_mode () =
     assert (V.failures client = 0);
     thr
   in
-  pr "%-18s%16.1f\n" "online" (Runner.kops (run_online ()));
-  pr "%-18s%16.1f\n" "deferred(100)" (Runner.kops (run_deferred 100));
+  let online = Runner.kops (run_online ()) in
+  let deferred = Runner.kops (run_deferred 100) in
+  pr "%-18s%16.1f\n" "online" online;
+  pr "%-18s%16.1f\n" "deferred(100)" deferred;
+  add_result "verify_mode"
+    (J.Obj
+       [
+         ("writes", J.Num (float_of_int n));
+         ("online_kops", J.Num online);
+         ("deferred_100_kops", J.Num deferred);
+       ]);
   pr "(expected shape: deferred batching verifies the same receipts at higher\n";
   pr " write throughput by taking per-write digest syncs and verification off\n";
   pr " the commit path)\n"
@@ -562,6 +651,139 @@ let cc () =
       ("read-committed", Spitz_txn.Scheduler.Read_committed) ];
   pr "(expected shape: read-committed commits the same work with far fewer\n";
   pr " aborts — the paper's argument for flexible isolation levels)\n"
+
+(* ---------- multicore commit pipeline ---------- *)
+
+(* ~1 KB values so the parallel hashing stages dominate the serial index
+   update (a document-store-shaped workload rather than the paper's 20-byte
+   values). *)
+let big_value k = String.concat "" (List.init 52 (fun v -> Keygen.value_of ~version:v k))
+
+let pipeline () =
+  let module Pool = Spitz_exec.Pool in
+  let module L = Spitz_ledger.Ledger.Default in
+  let module B = Spitz_baseline.Baseline_db in
+  let nd = pool_size () in
+  pr "\n== Multicore commit pipeline: 1 domain vs %d domains ==\n" nd;
+  pr "(recommended domain count on this machine: %d; ~1 KB values)\n"
+    (Domain.recommended_domain_count ());
+  pr "%-18s%14s%14s%10s%8s\n" "stage" "1-dom (s)" "n-dom (s)" "speedup" "equal";
+  let pool = Pool.create nd in
+  (* Wall-clock is noisy; best-of-[reps] per leg, result from the first run. *)
+  let timed_min ~reps f =
+    let r, t0 = Runner.time f in
+    let best = ref t0 in
+    for _ = 2 to reps do
+      let _, t = Runner.time f in
+      if t < !best then best := t
+    done;
+    (r, !best)
+  in
+  let leg name ~work ~seq ~par ~equal =
+    let r1, t1 = timed_min ~reps:2 seq in
+    let rn, tn = timed_min ~reps:2 par in
+    let ok = equal r1 rn in
+    let speedup = t1 /. tn in
+    pr "%-18s%14.3f%14.3f%10.2f%8s\n" name t1 tn speedup (if ok then "yes" else "NO");
+    flush stdout;
+    if not ok then failwith (name ^ ": parallel result diverged from sequential");
+    ( name,
+      J.Obj
+        [
+          ("work_items", J.Num (float_of_int work));
+          ("seconds_1", J.Num t1);
+          ("seconds_n", J.Num tn);
+          ("speedup", J.Num speedup);
+          ("kops_1", J.Num (float_of_int work /. t1 /. 1e3));
+          ("kops_n", J.Num (float_of_int work /. tn /. 1e3));
+          ("results_equal", J.Bool ok);
+        ] )
+  in
+  (* Leg 1: full Spitz commit pipeline. Value hashing and entry leaf hashing
+     run on the pool; the SIRI index update stays serial, so the journal
+     digest must be bit-identical at any pool size. *)
+  let batches = max 8 (64 / !scale) and batch_size = 256 in
+  let commit_writes b =
+    List.init batch_size (fun i ->
+        let k = Keygen.key_of ((b * batch_size) + i) in
+        Spitz_ledger.Ledger.Put (k, big_value k))
+  in
+  let commit_run pool =
+    let l = L.create ?pool (Spitz_storage.Object_store.create ()) in
+    for b = 0 to batches - 1 do
+      ignore (L.commit l (commit_writes b))
+    done;
+    L.digest l
+  in
+  let leg_commit =
+    leg "ledger-commit" ~work:(batches * batch_size)
+      ~seq:(fun () -> commit_run None)
+      ~par:(fun () -> commit_run (Some pool))
+      ~equal:( = )
+  in
+  (* Leg 2: baseline shadow rebuild — serial record collection, parallel leaf
+     hashing, serial Merkle assembly. *)
+  let nrec = max 1_000 (20_000 / !scale) in
+  let b =
+    let b = B.create () in
+    let chunk = 512 in
+    let rec fill i =
+      if i < nrec then begin
+        let sz = min chunk (nrec - i) in
+        ignore
+          (B.put_batch b
+             (List.init sz (fun j ->
+                  let k = Keygen.key_of (i + j) in
+                  (k, big_value k))));
+        fill (i + sz)
+      end
+    in
+    fill 0;
+    b
+  in
+  let leg_rebuild =
+    leg "shadow-rebuild" ~work:nrec
+      ~seq:(fun () -> B.rebuild_shadow b)
+      ~par:(fun () -> B.rebuild_shadow ~pool b)
+      ~equal:Spitz_crypto.Hash.equal
+  in
+  (* Leg 3: SIRI bulk build sharded over independent stores — whole shard
+     builds run in parallel (the node cache is domain-safe); per-shard roots
+     must match the sequential build's. *)
+  let shards = max 2 nd and per_shard = max 500 (8_000 / !scale) in
+  let build_shard s =
+    let t = ref (Spitz_adt.Merkle_bptree.create (Spitz_storage.Object_store.create ())) in
+    for i = 0 to per_shard - 1 do
+      let k = Keygen.key_of ((s * per_shard) + i) in
+      t := Spitz_adt.Merkle_bptree.insert !t k (Keygen.value_of k)
+    done;
+    Spitz_adt.Merkle_bptree.root_digest !t
+  in
+  let shard_ids = Array.init shards Fun.id in
+  let leg_shards =
+    leg "siri-shard-build" ~work:(shards * per_shard)
+      ~seq:(fun () -> Array.map build_shard shard_ids)
+      ~par:(fun () -> Pool.parallel_map pool ~chunk:1 build_shard shard_ids)
+      ~equal:(fun a b ->
+        Array.length a = Array.length b
+        && Array.for_all2 Spitz_crypto.Hash.equal a b)
+  in
+  Pool.shutdown pool;
+  add_result "pipeline"
+    (J.Obj
+       [
+         ("domains", J.Num (float_of_int nd));
+         ("recommended_domains", J.Num (float_of_int (Domain.recommended_domain_count ())));
+         leg_commit;
+         leg_rebuild;
+         leg_shards;
+       ]);
+  pr "(expected shape: on a multicore machine shadow-rebuild and\n";
+  pr " siri-shard-build approach linear speedup — their parallel stage is the\n";
+  pr " whole leg — while ledger-commit gains only its hashing fraction\n";
+  pr " (Amdahl: the SIRI index update is kept serial for determinism). On a\n";
+  pr " single core all speedups sit near 1.0; 'equal' must be yes everywhere\n";
+  pr " regardless — roots and digests never depend on the pool size)\n"
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
@@ -640,34 +862,82 @@ let bechamel () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let json_rows = ref [] in
   List.iter
     (fun test ->
        let results = Analyze.all ols Instance.monotonic_clock (Benchmark.all cfg instances test) in
        Hashtbl.iter
          (fun name est ->
             match Analyze.OLS.estimates est with
-            | Some [ ns ] -> pr "%-36s%16.0f%16.1f\n" name ns (1e6 /. ns)
+            | Some [ ns ] ->
+              pr "%-36s%16.0f%16.1f\n" name ns (1e6 /. ns);
+              json_rows := (name, J.Num ns) :: !json_rows
             | _ -> pr "%-36s%16s\n" name "-")
          results)
-    tests
+    tests;
+  add_result "bechamel_ns_per_op" (J.Obj (List.rev !json_rows))
+
+(* ---------- decoded-node cache counters ---------- *)
+
+(* Cumulative over every figure run before this point: the caches are
+   module-level, shared by all stores. *)
+let cache_report () =
+  let module NC = Spitz_storage.Node_cache in
+  pr "\n== Decoded-node cache counters (cumulative) ==\n";
+  pr "%-14s%12s%12s%12s%11s\n" "cache" "hits" "misses" "evictions" "hit-rate";
+  let line name (s : NC.stats) =
+    let total = s.NC.hits + s.NC.misses in
+    let rate = if total = 0 then 0. else float_of_int s.NC.hits /. float_of_int total in
+    pr "%-14s%12d%12d%12d%10.1f%%\n" name s.NC.hits s.NC.misses s.NC.evictions (100. *. rate);
+    ( name,
+      J.Obj
+        [
+          ("hits", J.Num (float_of_int s.NC.hits));
+          ("misses", J.Num (float_of_int s.NC.misses));
+          ("evictions", J.Num (float_of_int s.NC.evictions));
+          ("hit_rate", J.Num rate);
+        ] )
+  in
+  add_result "node_cache"
+    (J.Obj
+       [
+         line "kv-node" (NC.stats Spitz_adt.Kv_node.cache);
+         line "mpt" (Spitz_adt.Mpt.cache_stats ());
+         line "mbt" (Spitz_adt.Mbt.cache_stats ());
+       ]);
+  flush stdout
 
 (* ---------- driver ---------- *)
 
 let usage () =
   pr
-    "usage: main.exe [fig1|fig6a|fig6b|fig7|fig8a|fig8b|siri|verify-mode|cc|learned|bechamel|all]\n\
-    \       [--scale N] [--ops N]\n";
+    "usage: main.exe \
+     [fig1|fig6a|fig6b|fig7|fig8a|fig8b|siri|verify-mode|cc|learned|pipeline|bechamel|all]\n\
+    \       [--scale N] [--ops N] [--domains N] [--out FILE]\n";
   exit 1
 
 let () =
   let cmds = ref [] in
+  let int_arg flag v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None ->
+      pr "bad value %S for %s (expected an integer)\n" v flag;
+      usage ()
+  in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
-      scale := int_of_string v;
+      scale := int_arg "--scale" v;
       parse rest
     | "--ops" :: v :: rest ->
-      ops := int_of_string v;
+      ops := int_arg "--ops" v;
+      parse rest
+    | "--domains" :: v :: rest ->
+      domains := int_arg "--domains" v;
+      parse rest
+    | "--out" :: v :: rest ->
+      out_file := v;
       parse rest
     | cmd :: rest ->
       cmds := cmd :: !cmds;
@@ -686,6 +956,7 @@ let () =
     | "verify-mode" -> verify_mode ()
     | "learned" -> learned ()
     | "cc" -> cc ()
+    | "pipeline" -> pipeline ()
     | "bechamel" -> bechamel ()
     | "all" ->
       fig1 ();
@@ -697,6 +968,7 @@ let () =
       siri ();
       verify_mode ();
       cc ();
+      pipeline ();
       bechamel ()
     | cmd ->
       pr "unknown command %S\n" cmd;
@@ -706,8 +978,22 @@ let () =
     (String.concat ","
        (List.map string_of_int (Runner.record_counts ~scale:!scale ())))
     !ops;
-  List.iter
-    (fun c ->
-       run c;
-       flush stdout)
-    cmds
+  let (), wall =
+    Runner.time (fun () -> List.iter (fun c -> run c; flush_fig (); flush stdout) cmds)
+  in
+  cache_report ();
+  add_result "meta"
+    (J.Obj
+       [
+         ("scale", J.Num (float_of_int !scale));
+         ("ops", J.Num (float_of_int !ops));
+         ("pool_domains", J.Num (float_of_int (pool_size ())));
+         ("recommended_domains", J.Num (float_of_int (Domain.recommended_domain_count ())));
+         ("wall_seconds", J.Num wall);
+         ("commands", J.Arr (List.map (fun c -> J.Str c) cmds));
+       ]);
+  let oc = open_out !out_file in
+  output_string oc (J.to_string (J.Obj (List.rev !results)));
+  output_string oc "\n";
+  close_out oc;
+  pr "\nmachine-readable results written to %s\n" !out_file

@@ -40,7 +40,28 @@ let decode data =
         (k, h)))
   | c -> raise (Wire.Malformed (Printf.sprintf "Kv_node: bad node tag %C" c))
 
-let load store h = decode (Object_store.get_exn store h)
+(* Decoded nodes are cached across all stores by content address: the same
+   hash always denotes the same bytes, so a cached decode is valid for any
+   store that holds the object. Store membership is still checked on every
+   access so that swept (compacted) or released nodes keep raising
+   [Not_found] exactly as the uncached path did. Nodes are built from
+   immutable lists and are never mutated in place, which makes sharing one
+   decoded value across traversals (and domains) safe. *)
+let cache : node Node_cache.t = Node_cache.create ~capacity:65536 ()
+
+(* Memoized decode when the serialized bytes are already at hand (proof
+   assembly): the store hit has been paid, only the decode is saved. *)
+let decode_cached h bytes =
+  Node_cache.find_or_add cache h ~load:(fun () -> decode bytes)
+
+let load store h =
+  match Node_cache.find cache h with
+  | Some node when Object_store.mem store h -> node
+  | _ ->
+    let node = decode (Object_store.get_exn store h) in
+    Node_cache.add cache h node;
+    node
+
 let save store node = Object_store.put store (encode node)
 
 (* Index of the child to follow for [key]: the last separator <= key, or the
@@ -78,7 +99,7 @@ let get_with_proof store root key =
     let rec go h =
       let bytes = Object_store.get_exn store h in
       nodes := bytes :: !nodes;
-      match decode bytes with
+      match decode_cached h bytes with
       | Leaf entries -> List.assoc_opt key entries
       | Internal children ->
         let _, child = List.nth children (child_index children key) in
@@ -98,14 +119,16 @@ let children_overlapping children ~lo ~hi =
        starts_before_hi && ends_after_lo)
     children
 
-let range_visit ~load_bytes root ~lo ~hi ~record =
+(* [decode_node] lets the store-backed paths decode through the cache while
+   client-side proof verification keeps a plain, storeless decode. *)
+let range_visit ?(decode_node = fun _ bytes -> decode bytes) ~load_bytes root ~lo ~hi ~record =
   let acc = ref [] in
   let rec go h =
     match load_bytes h with
     | None -> raise Not_found
     | Some bytes ->
       record bytes;
-      (match decode bytes with
+      (match decode_node h bytes with
        | Leaf entries ->
          List.iter
            (fun (k, v) ->
@@ -118,12 +141,13 @@ let range_visit ~load_bytes root ~lo ~hi ~record =
   List.rev !acc
 
 let range store root ~lo ~hi =
-  range_visit ~load_bytes:(Object_store.get store) root ~lo ~hi ~record:(fun _ -> ())
+  range_visit ~decode_node:decode_cached ~load_bytes:(Object_store.get store) root ~lo ~hi
+    ~record:(fun _ -> ())
 
 let range_with_proof store root ~lo ~hi =
   let nodes = ref [] in
   let entries =
-    range_visit ~load_bytes:(Object_store.get store) root ~lo ~hi
+    range_visit ~decode_node:decode_cached ~load_bytes:(Object_store.get store) root ~lo ~hi
       ~record:(fun bytes -> nodes := bytes :: !nodes)
   in
   (entries, { Siri.nodes = List.rev !nodes })

@@ -77,7 +77,24 @@ let create_sized ~buckets store =
 
 let create store = create_sized ~buckets:default_buckets store
 
-let load t h = decode_node (Object_store.get_exn t.store h)
+(* Decoded-node cache, shared across stores by content address (see
+   Kv_node): membership is checked per access so swept nodes still raise
+   [Not_found]. Buckets are immutable lists; updates build new nodes. *)
+let cache : node Node_cache.t = Node_cache.create ~capacity:65536 ()
+
+let decode_cached h bytes =
+  Node_cache.find_or_add cache h ~load:(fun () -> decode_node bytes)
+
+let cache_stats () = Node_cache.stats cache
+
+let load t h =
+  match Node_cache.find cache h with
+  | Some node when Object_store.mem t.store h -> node
+  | _ ->
+    let node = decode_node (Object_store.get_exn t.store h) in
+    Node_cache.add cache h node;
+    node
+
 let save t node = Object_store.put t.store (encode_node node)
 
 (* Bit i (from the top) of the bucket index steers the descent at depth i. *)
@@ -139,7 +156,7 @@ let get_with_proof t key =
   let rec go h level =
     let bytes = Object_store.get_exn t.store h in
     nodes := bytes :: !nodes;
-    match decode_node bytes with
+    match decode_cached h bytes with
     | Bucket entries -> if level = t.depth then List.assoc_opt key entries else None
     | Inner (l, r) ->
       if level >= t.depth then None
@@ -178,7 +195,7 @@ let range_with_proof t ~lo ~hi =
   let rec go h level =
     let bytes = Object_store.get_exn t.store h in
     nodes := bytes :: !nodes;
-    match decode_node bytes with
+    match decode_cached h bytes with
     | Bucket bucket ->
       List.iter
         (fun (k, v) ->

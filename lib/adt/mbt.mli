@@ -8,6 +8,9 @@
 
 include Siri.S
 
+val cache_stats : unit -> Spitz_storage.Node_cache.stats
+(** Hit/miss/eviction counters of the module-level decoded-node cache. *)
+
 val default_buckets : int
 
 val create_sized : buckets:int -> Spitz_storage.Object_store.t -> t

@@ -85,7 +85,25 @@ let store t = t.store
 let root_digest t = match t.root with Some h -> h | None -> Hash.null
 let cardinal t = t.count
 
-let load t h = decode_node (Object_store.get_exn t.store h)
+(* Decoded-node cache, shared across stores by content address (see
+   Kv_node): membership is checked per access so swept nodes still raise
+   [Not_found]. Decoded branches are copied (never mutated in place) by
+   [insert_at], so cached nodes can be shared freely. *)
+let cache : node Node_cache.t = Node_cache.create ~capacity:65536 ()
+
+let decode_cached h bytes =
+  Node_cache.find_or_add cache h ~load:(fun () -> decode_node bytes)
+
+let cache_stats () = Node_cache.stats cache
+
+let load t h =
+  match Node_cache.find cache h with
+  | Some node when Object_store.mem t.store h -> node
+  | _ ->
+    let node = decode_node (Object_store.get_exn t.store h) in
+    Node_cache.add cache h node;
+    node
+
 let save t node = Object_store.put t.store (encode_node node)
 
 let common_prefix_len a b =
@@ -196,7 +214,7 @@ let get_with_proof t key =
     let rec go h path =
       let bytes = Object_store.get_exn t.store h in
       nodes := bytes :: !nodes;
-      match decode_node bytes with
+      match decode_cached h bytes with
       | Leaf (lpath, v) -> if String.equal lpath path then Some v else None
       | Ext (epath, child) ->
         let p = common_prefix_len epath path in

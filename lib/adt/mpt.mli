@@ -3,6 +3,9 @@
 
 include Siri.S
 
+val cache_stats : unit -> Spitz_storage.Node_cache.stats
+(** Hit/miss/eviction counters of the module-level decoded-node cache. *)
+
 val to_nibbles : string -> string
 (** Key bytes as a string of 4-bit nibbles (each char 0..15). Exposed for
     tests. *)

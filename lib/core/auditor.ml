@@ -8,7 +8,7 @@ module L = Ledger.Default
 
 type t = { ledger : L.t }
 
-let create store = { ledger = L.create store }
+let create ?pool store = { ledger = L.create ?pool store }
 
 let of_ledger ledger = { ledger }
 

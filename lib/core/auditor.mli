@@ -7,7 +7,10 @@ module L : module type of struct include Ledger.Default end
 
 type t
 
-val create : Spitz_storage.Object_store.t -> t
+val create : ?pool:Spitz_exec.Pool.t -> Spitz_storage.Object_store.t -> t
+(** With [pool], ledger commits hash write values and entry leaves in
+    parallel (see {!Ledger.Make.create}). *)
+
 val of_ledger : L.t -> t
 
 val ledger : t -> L.t

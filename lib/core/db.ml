@@ -22,12 +22,12 @@ type t = {
   inverted : Spitz_index.Inverted.t option;
 }
 
-let open_db ?store ?(column = "v") ?(with_inverted = false) () =
+let open_db ?store ?pool ?(column = "v") ?(with_inverted = false) () =
   let store = match store with Some s -> s | None -> Object_store.create () in
   {
     store;
     cells = Cell_store.create ~store ();
-    auditor = Auditor.create store;
+    auditor = Auditor.create ?pool store;
     column;
     inverted = (if with_inverted then Some (Spitz_index.Inverted.create ()) else None);
   }

@@ -19,9 +19,14 @@ module V : module type of struct include Verifier.Default end
 
 type t
 
-val open_db : ?store:Object_store.t -> ?column:string -> ?with_inverted:bool -> unit -> t
+val open_db :
+  ?store:Object_store.t -> ?pool:Spitz_exec.Pool.t -> ?column:string ->
+  ?with_inverted:bool -> unit -> t
 (** A fresh database. [column] names the cell-store column of the KV surface
-    (default ["v"]); [with_inverted] enables the inverted value index. *)
+    (default ["v"]); [with_inverted] enables the inverted value index. With
+    [pool], commit batches hash their value payloads and block entry leaves
+    on the pool (index updates stay serial, so digests and proofs are
+    bit-identical at any pool size). *)
 
 val store : t -> Object_store.t
 val auditor : t -> Auditor.t

@@ -1,0 +1,171 @@
+(* Hand-rolled fixed-size domain pool: a queue of thunks drained by [size - 1]
+   long-lived worker domains, with the calling domain joining in on every
+   operation. Built on Domain + Mutex/Condition only — no dependencies.
+
+   Each operation ("job") chunks its index space; chunks are claimed from an
+   atomic counter so workers and the caller load-balance dynamically, while
+   results land in per-index slots, keeping output order deterministic. *)
+
+type t = {
+  m : Mutex.t;                       (* guards [tasks] and [stop] *)
+  has_work : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+  size : int;
+}
+
+let size t = t.size
+
+let rec worker_loop pool =
+  Mutex.lock pool.m;
+  while Queue.is_empty pool.tasks && not pool.stop do
+    Condition.wait pool.has_work pool.m
+  done;
+  if Queue.is_empty pool.tasks then Mutex.unlock pool.m (* stopping *)
+  else begin
+    let task = Queue.pop pool.tasks in
+    Mutex.unlock pool.m;
+    task ();
+    worker_loop pool
+  end
+
+let create n =
+  if n < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let pool =
+    { m = Mutex.create (); has_work = Condition.create (); tasks = Queue.create ();
+      stop = false; workers = [||]; size = n }
+  in
+  pool.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.stop <- true;
+  Condition.broadcast pool.has_work;
+  Mutex.unlock pool.m;
+  Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+let default_size () =
+  match Sys.getenv_opt "SPITZ_DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let default_pool = ref None
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+    let p = create (default_size ()) in
+    default_pool := Some p;
+    p
+
+(* One parallel operation over [nchunks] chunks. Chunks are claimed with an
+   atomic counter; [pending] counts unfinished chunks; the caller waits on
+   [finished] once it runs out of chunks to claim itself. *)
+type job = {
+  nchunks : int;
+  next : int Atomic.t;
+  pending : int Atomic.t;
+  jm : Mutex.t;
+  finished : Condition.t;
+  mutable failed : (exn * Printexc.raw_backtrace) option;
+}
+
+let run_chunks pool ~nchunks ~run_chunk =
+  if nchunks <= 0 then ()
+  else if pool.size = 1 || pool.stop || nchunks = 1 then
+    for c = 0 to nchunks - 1 do run_chunk c done
+  else begin
+    let job =
+      { nchunks; next = Atomic.make 0; pending = Atomic.make nchunks;
+        jm = Mutex.create (); finished = Condition.create (); failed = None }
+    in
+    let step () =
+      let c = Atomic.fetch_and_add job.next 1 in
+      if c >= job.nchunks then false
+      else begin
+        (* after a failure the remaining chunks are skipped but still drained
+           through [pending], so the caller's wait always terminates *)
+        (try if job.failed = None then run_chunk c
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           Mutex.lock job.jm;
+           if job.failed = None then job.failed <- Some (e, bt);
+           Mutex.unlock job.jm);
+        if Atomic.fetch_and_add job.pending (-1) = 1 then begin
+          Mutex.lock job.jm;
+          Condition.broadcast job.finished;
+          Mutex.unlock job.jm
+        end;
+        true
+      end
+    in
+    let helpers = min (pool.size - 1) (nchunks - 1) in
+    Mutex.lock pool.m;
+    for _ = 1 to helpers do
+      Queue.push (fun () -> while step () do () done) pool.tasks
+    done;
+    Condition.broadcast pool.has_work;
+    Mutex.unlock pool.m;
+    while step () do () done;
+    Mutex.lock job.jm;
+    while Atomic.get job.pending > 0 do
+      Condition.wait job.finished job.jm
+    done;
+    Mutex.unlock job.jm;
+    match job.failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+(* Default chunking: enough chunks for dynamic load balancing (4 per domain)
+   without drowning small inputs in task overhead. *)
+let chunk_size pool ?chunk n =
+  match chunk with
+  | Some c when c >= 1 -> c
+  | Some _ -> invalid_arg "Pool: chunk must be >= 1"
+  | None -> max 1 (n / (4 * pool.size))
+
+let parallel_for pool ?chunk n body =
+  if n > 0 then begin
+    let csize = chunk_size pool ?chunk n in
+    let nchunks = (n + csize - 1) / csize in
+    run_chunks pool ~nchunks ~run_chunk:(fun c ->
+        let lo = c * csize and hi = min n ((c + 1) * csize) in
+        for i = lo to hi - 1 do body i done)
+  end
+
+let parallel_map pool ?chunk f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for pool ?chunk n (fun i -> out.(i) <- Some (f arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_list pool ?chunk f l =
+  match l with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | l -> Array.to_list (parallel_map pool ?chunk f (Array.of_list l))
+
+let parallel_reduce pool ?chunk ~map ~combine ~init n =
+  if n <= 0 then init
+  else begin
+    let csize = chunk_size pool ?chunk n in
+    let nchunks = (n + csize - 1) / csize in
+    let partials = Array.make nchunks init in
+    run_chunks pool ~nchunks ~run_chunk:(fun c ->
+        let lo = c * csize and hi = min n ((c + 1) * csize) in
+        let acc = ref init in
+        for i = lo to hi - 1 do acc := combine !acc (map i) done;
+        partials.(c) <- !acc);
+    Array.fold_left combine init partials
+  end

@@ -1,0 +1,67 @@
+(** Fixed-size domain pool for the commit pipeline's embarrassingly parallel
+    stages (value hashing, leaf hashing, shard builds).
+
+    A pool of size [n] uses [n] domains in total: [n - 1] long-lived worker
+    domains plus the calling domain, which always participates in the work.
+    A pool of size 1 spawns nothing and runs every operation inline, so
+    sequential callers pay (almost) nothing for the abstraction.
+
+    Guarantees:
+    - {b Deterministic ordering}: results of [parallel_map] / [map_list] are
+      in input order regardless of execution interleaving, and
+      [parallel_reduce] combines per-chunk partials left-to-right, so any
+      associative combine yields the same result at every pool size.
+    - {b Exception propagation}: the first exception raised by a work item is
+      re-raised in the caller (with its backtrace) after all in-flight chunks
+      of the operation have drained; remaining unstarted chunks may be
+      skipped.
+    - {b Reusability}: an operation that raised leaves the pool fully usable;
+      operations may also be issued from different domains concurrently.
+
+    Work items must not themselves submit work to the same pool (no nested
+    parallelism) and must confine shared-state mutation to domain-safe
+    structures — the intended use is pure per-item computation such as
+    hashing. *)
+
+type t
+
+val create : int -> t
+(** [create n] builds a pool of total size [n >= 1], spawning [n - 1] worker
+    domains. Raises [Invalid_argument] when [n < 1]. *)
+
+val size : t -> int
+(** Total parallelism, including the calling domain. *)
+
+val shutdown : t -> unit
+(** Join all worker domains. Idempotent. Operations submitted after shutdown
+    run inline in the caller. *)
+
+val default : unit -> t
+(** A lazily created process-wide pool. Its size is [SPITZ_DOMAINS] when that
+    environment variable holds a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val default_size : unit -> int
+(** The size {!default} uses, without forcing pool creation. *)
+
+val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for pool n body] runs [body i] for [0 <= i < n], partitioned
+    into contiguous chunks of [chunk] indices (a size-derived default when
+    omitted). *)
+
+val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Like [Array.map], with elements computed in parallel; the result is in
+    input order. *)
+
+val map_list : t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Like [List.map], with elements computed in parallel; the result is in
+    input order. *)
+
+val parallel_reduce :
+  t -> ?chunk:int -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> init:'a ->
+  int -> 'a
+(** [parallel_reduce pool ~map ~combine ~init n] folds [map i] for
+    [0 <= i < n]: each chunk is folded locally in index order, then the
+    per-chunk partials are folded left-to-right — deterministic whenever
+    [combine] is associative. [init] seeds every chunk as well as the final
+    fold, so it must be a unit of [combine]. *)

@@ -55,10 +55,21 @@ let entry_bytes e =
   encode_entry buf e;
   Wire.contents buf
 
-let entries_merkle entries =
-  let tree = Spitz_adt.Merkle.create () in
-  List.iter (fun e -> ignore (Spitz_adt.Merkle.add_leaf tree (entry_bytes e))) entries;
-  tree
+(* Below this many entries the domain-pool handoff costs more than the leaf
+   hashing it parallelizes. *)
+let parallel_threshold = 16
+
+let entries_merkle ?pool entries =
+  match pool with
+  | Some pool
+    when Spitz_exec.Pool.size pool > 1 && List.length entries >= parallel_threshold ->
+    (* parallel stage: leaf hashes, in entry order; serial stage: assembly *)
+    Spitz_adt.Merkle.of_leaf_hashes
+      (Spitz_exec.Pool.map_list pool (fun e -> Hash.leaf (entry_bytes e)) entries)
+  | _ ->
+    let tree = Spitz_adt.Merkle.create () in
+    List.iter (fun e -> ignore (Spitz_adt.Merkle.add_leaf tree (entry_bytes e))) entries;
+    tree
 
 let encode_header buf h =
   Wire.write_varint buf h.height;
@@ -98,7 +109,10 @@ let decode data =
   let statements = Wire.read_list r Wire.read_string in
   { header; entries; statements }
 
-let create ~height ~prev_hash ~index_root ~time ~entries ~statements =
-  let entries_root = Spitz_adt.Merkle.root (entries_merkle entries) in
+let create_rooted ~entries_root ~height ~prev_hash ~index_root ~time ~entries ~statements =
   { header = { height; prev_hash; entries_root; index_root; entry_count = List.length entries; time };
     entries; statements }
+
+let create ~height ~prev_hash ~index_root ~time ~entries ~statements =
+  create_rooted ~entries_root:(Spitz_adt.Merkle.root (entries_merkle entries))
+    ~height ~prev_hash ~index_root ~time ~entries ~statements

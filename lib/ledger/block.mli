@@ -33,10 +33,19 @@ val create :
   entries:entry list -> statements:string list -> t
 (** Builds the block, computing [entries_root]. *)
 
+val create_rooted :
+  entries_root:Hash.t ->
+  height:int -> prev_hash:Hash.t -> index_root:Hash.t -> time:int ->
+  entries:entry list -> statements:string list -> t
+(** Like {!create} with a precomputed entries root — the commit pipeline
+    computes it via [entries_merkle ?pool] to hash entry leaves in parallel;
+    the root is bit-identical to the sequential one because tree assembly
+    preserves entry order. *)
+
 val entry_bytes : entry -> string
 (** Canonical serialization of one entry (the Merkle leaf data). *)
 
-val entries_merkle : entry list -> Spitz_adt.Merkle.t
+val entries_merkle : ?pool:Spitz_exec.Pool.t -> entry list -> Spitz_adt.Merkle.t
 (** The Merkle tree committing to the block's entries. *)
 
 val header_bytes : header -> string

@@ -31,15 +31,17 @@ module Make (Index : Siri.S) = struct
     mutable instances : Index.t array; (* index instance per block; slot 0 unused until first commit *)
     mutable time : int;
     mutable next_txn : int;
+    pool : Spitz_exec.Pool.t option; (* commit-pipeline parallelism; None = serial *)
   }
 
-  let create store =
+  let create ?pool store =
     {
       store;
       journal = Journal.create store;
       instances = Array.make 16 (Index.create store);
       time = 0;
       next_txn = 0;
+      pool;
     }
 
   let store t = t.store
@@ -61,9 +63,30 @@ module Make (Index : Siri.S) = struct
     t.next_txn <- id + 1;
     id
 
-  (* Commit one batch of writes as a new block; returns the block height. *)
+  (* Writes per batch below which the parallel hashing stage is not worth
+     the pool handoff. *)
+  let parallel_threshold = 16
+
+  (* Commit pipeline (one batch of writes -> one block; returns its height).
+     Stage 1, parallel when a pool is attached: hash every written value —
+     pure, independent per write, and the dominant crypto cost of large
+     batches. Stage 2, always serial: apply the writes to the SIRI index in
+     batch order, so the index root (and therefore every proof) is
+     bit-identical at any pool size. Stage 3: assemble the block, with its
+     entry leaf hashes computed on the pool as well. *)
   let commit t ?(statements = []) writes =
     let txn_id = fresh_txn t in
+    let value_hashes =
+      let hash_of = function
+        | Put (_, v) -> Hash.of_string v
+        | Delete _ -> Hash.null
+      in
+      match t.pool with
+      | Some pool
+        when Spitz_exec.Pool.size pool > 1 && List.length writes >= parallel_threshold ->
+        Spitz_exec.Pool.map_list pool hash_of writes
+      | _ -> List.map hash_of writes
+    in
     let index =
       List.fold_left
         (fun index w ->
@@ -73,18 +96,19 @@ module Make (Index : Siri.S) = struct
         (current_index t) writes
     in
     let entries =
-      List.map
-        (fun w ->
+      List.map2
+        (fun w value_hash ->
            match w with
-           | Put (k, v) ->
-             { Block.op = Block.Update; key = k; value_hash = Hash.of_string v; txn_id }
+           | Put (k, _) -> { Block.op = Block.Update; key = k; value_hash; txn_id }
            | Delete k -> { Block.op = Block.Delete; key = k; value_hash = Hash.null; txn_id })
-        writes
+        writes value_hashes
     in
     let height = Journal.length t.journal in
     t.time <- t.time + 1;
     let block =
-      Block.create ~height ~prev_hash:(Journal.head_hash t.journal)
+      Block.create_rooted
+        ~entries_root:(Merkle.root (Block.entries_merkle ?pool:t.pool entries))
+        ~height ~prev_hash:(Journal.head_hash t.journal)
         ~index_root:(Index.root_digest index) ~time:t.time ~entries ~statements
     in
     Journal.append t.journal block;
@@ -271,8 +295,8 @@ module Make (Index : Siri.S) = struct
      reopened at the roots the block headers commit to; cardinalities are
      recomputed by replaying each block's entries against the previous
      instance. *)
-  let restore store bodies =
-    let t = create store in
+  let restore ?pool store bodies =
+    let t = create ?pool store in
     List.iter
       (fun body ->
          let block = Block.decode (Object_store.get_exn store body) in

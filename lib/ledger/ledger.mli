@@ -16,7 +16,10 @@ type write = Put of string * string | Delete of string
 module Make (Index : Siri.S) : sig
   type t
 
-  val create : Object_store.t -> t
+  val create : ?pool:Spitz_exec.Pool.t -> Object_store.t -> t
+  (** With [pool], {!commit}'s value and entry-leaf hashing stages run in
+      parallel on the pool. Index updates stay serial in batch order, so
+      roots, digests, and every proof are bit-identical at any pool size. *)
 
   val store : t -> Object_store.t
   val journal : t -> Journal.t
@@ -86,7 +89,7 @@ module Make (Index : Siri.S) : sig
   (** Content addresses of all encoded blocks, in height order
       (persistence). *)
 
-  val restore : Object_store.t -> Hash.t list -> t
+  val restore : ?pool:Spitz_exec.Pool.t -> Object_store.t -> Hash.t list -> t
   (** Reopen a ledger from its block addresses; re-validates the chain and
       reopens index instances at the roots the headers commit to. *)
 end

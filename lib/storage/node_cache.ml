@@ -1,0 +1,109 @@
+open Spitz_crypto
+
+(* Mutex-protected LRU: hash table into an intrusive doubly-linked recency
+   list. Hits unlink + push-front; inserts evict from the tail. *)
+
+type 'a entry = {
+  key : Hash.t;
+  value : 'a;
+  mutable prev : 'a entry option; (* towards most recent *)
+  mutable next : 'a entry option; (* towards least recent *)
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type 'a t = {
+  cap : int;
+  tbl : 'a entry Hash.Table.t;
+  mutable head : 'a entry option; (* most recently used *)
+  mutable tail : 'a entry option; (* least recently used *)
+  m : Mutex.t;
+  st : stats;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Node_cache.create: capacity must be >= 1";
+  { cap = capacity; tbl = Hash.Table.create (min capacity 4096); head = None; tail = None;
+    m = Mutex.create (); st = { hits = 0; misses = 0; evictions = 0 } }
+
+let capacity t = t.cap
+
+let length t = Hash.Table.length t.tbl
+
+let stats t =
+  Mutex.lock t.m;
+  let s = { hits = t.st.hits; misses = t.st.misses; evictions = t.st.evictions } in
+  Mutex.unlock t.m;
+  s
+
+let reset_counters t =
+  Mutex.lock t.m;
+  t.st.hits <- 0;
+  t.st.misses <- 0;
+  t.st.evictions <- 0;
+  Mutex.unlock t.m
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some e ->
+    unlink t e;
+    Hash.Table.remove t.tbl e.key;
+    t.st.evictions <- t.st.evictions + 1
+
+let find t h =
+  Mutex.lock t.m;
+  let r =
+    match Hash.Table.find_opt t.tbl h with
+    | Some e ->
+      t.st.hits <- t.st.hits + 1;
+      unlink t e;
+      push_front t e;
+      Some e.value
+    | None ->
+      t.st.misses <- t.st.misses + 1;
+      None
+  in
+  Mutex.unlock t.m;
+  r
+
+let add t h v =
+  Mutex.lock t.m;
+  (match Hash.Table.find_opt t.tbl h with
+   | Some e -> unlink t e; Hash.Table.remove t.tbl e.key
+   | None -> ());
+  let e = { key = h; value = v; prev = None; next = None } in
+  Hash.Table.replace t.tbl h e;
+  push_front t e;
+  if Hash.Table.length t.tbl > t.cap then evict_tail t;
+  Mutex.unlock t.m
+
+let find_or_add t h ~load =
+  match find t h with
+  | Some v -> v
+  | None ->
+    let v = load () in
+    add t h v;
+    v
+
+let clear t =
+  Mutex.lock t.m;
+  Hash.Table.reset t.tbl;
+  t.head <- None;
+  t.tail <- None;
+  Mutex.unlock t.m

@@ -1,0 +1,53 @@
+(** LRU cache of decoded index nodes, keyed by content address.
+
+    Traversals of the authenticated indexes re-decode every node from its
+    serialized bytes on each visit; this cache memoizes the decode. Because
+    objects are content-addressed and immutable, an address can never map to
+    different bytes, so the cache needs no invalidation — the only
+    correctness caveat is deletion (compaction / release), which callers
+    handle by consulting {!Object_store.mem} before trusting a hit.
+
+    Entries are polymorphic so each index family caches its own node type.
+    All operations are domain-safe (a single internal mutex), which the
+    parallel shard builds rely on. *)
+
+open Spitz_crypto
+
+type 'a t
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 65536) is the maximum number of cached nodes; the
+    least recently used entry is evicted beyond it. Raises
+    [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val stats : 'a t -> stats
+(** Live counters (a snapshot copy; safe to read while other domains use the
+    cache). *)
+
+val reset_counters : 'a t -> unit
+
+val find : 'a t -> Hash.t -> 'a option
+(** Look up a decoded node, promoting it to most recently used. Counts a hit
+    or a miss. *)
+
+val add : 'a t -> Hash.t -> 'a -> unit
+(** Insert (or refresh) a decoded node, evicting the LRU entry when over
+    capacity. *)
+
+val find_or_add : 'a t -> Hash.t -> load:(unit -> 'a) -> 'a
+(** [find] then, on miss, [load ()] (run outside the cache lock) and [add].
+    Concurrent misses on the same address may both run [load]; by content
+    addressing both decode the same bytes, so the duplicate insert is
+    harmless. *)
+
+val clear : 'a t -> unit
+(** Drop every entry (counters are kept). *)

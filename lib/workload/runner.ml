@@ -1,17 +1,25 @@
 (* Fixed-operation timing loops for the figure sweeps: run [ops] operations,
-   report operations per second. Timed with [Sys.time] (CPU seconds): the
-   workloads are CPU-bound and single-threaded, so CPU time measures them
-   exactly and is immune to scheduler noise. *)
+   report operations per second. Timed with wall-clock time — CPU time
+   ([Sys.time]) sums over every domain, so it cannot measure multicore
+   speedups: a stage that keeps 4 domains busy for 1 second reads as 4 CPU
+   seconds. All throughput and speedup numbers are wall-clock. *)
+
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
 
 let time_ops ?(warmup = 0) ~ops f =
   for i = 0 to warmup - 1 do
     f i
   done;
-  let t0 = Sys.time () in
+  let t0 = now () in
   for i = 0 to ops - 1 do
     f i
   done;
-  let t1 = Sys.time () in
+  let t1 = now () in
   let elapsed = t1 -. t0 in
   if elapsed <= 0.0 then Float.infinity else float_of_int ops /. elapsed
 

@@ -1,6 +1,12 @@
-(** Fixed-operation timing loops for the figure sweeps. Reports throughput in
-    operations per second using CPU time (the workloads are CPU-bound and
-    single-threaded). *)
+(** Fixed-operation timing loops for the figure sweeps. All timings are
+    wall-clock: CPU time sums across domains, so it cannot see multicore
+    speedups. *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] is [f ()]'s result and its wall-clock duration in seconds. *)
 
 val time_ops : ?warmup:int -> ops:int -> (int -> unit) -> float
 (** [time_ops ~ops f] runs [f 0 .. f (ops-1)] and returns ops/second. *)

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerate BENCH_results.json in one command:
+#
+#   scripts/bench.sh                      # full sweep, auto pool size
+#   scripts/bench.sh pipeline --domains 4 # any bench/main.exe arguments
+#
+# Table output goes to stdout; the machine-readable results land in
+# BENCH_results.json at the repo root (override with --out FILE).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build bench/main.exe
+exec ./_build/default/bench/main.exe "$@"
