@@ -6,6 +6,7 @@
      fig7         range queries at 0.1% selectivity
      fig8a, fig8b non-intrusive design vs Spitz, read / write
      siri         SIRI-family ablation (POS-tree / MPT / MBT / Merkle B+)
+     verify       batched verification: one-at-a-time vs one proof per batch
      verify-mode  online vs deferred verification (section 5.3)
      cc           concurrency-control ablation (section 5.2)
      pipeline     multicore commit pipeline: 1 domain vs N domains
@@ -589,6 +590,144 @@ let verify_mode () =
   pr " write throughput by taking per-write digest syncs and verification off\n";
   pr " the commit path)\n"
 
+(* ---------- batched verification ---------- *)
+
+(* One-at-a-time vs batched vs batched+parallel verification of the same
+   reads. Server-side proof generation happens outside the timers; what is
+   measured is the client: per-key proofs pay one journal-inclusion check and
+   one proof-index build (every node hashed) per key, the batched proof pays
+   them once per batch. Accept/reject decisions are asserted identical across
+   all three modes, including under tampering. *)
+let verify_bench () =
+  let n = max 2000 (20_000 / !scale) in
+  let batch = 64 in
+  let batches = max 4 (min 64 (!ops / batch)) in
+  pr "\n== Batched verification: %d batches of %d reads over %d records ==\n"
+    batches batch n;
+  let module L = Spitz.Db.L in
+  let module Pool = Spitz_exec.Pool in
+  let db = populate_spitz n in
+  let digest = Spitz.Db.digest db in
+  let rng = Keygen.rng 42 in
+  (* distinct keys per batch; every 16th key is absent, exercising the
+     absence path of both verifiers *)
+  let make_batch b =
+    List.init batch (fun j ->
+        if j mod 16 = 15 then Keygen.key_of (n + (b * batch) + j)
+        else Keygen.key_of (Keygen.int rng n))
+  in
+  let key_sets = List.init batches make_batch in
+  let per_key =
+    List.map
+      (fun keys ->
+         List.map
+           (fun key ->
+              let value, proof = Spitz.Db.get_verified db key in
+              (key, value, Option.get proof))
+           keys)
+      key_sets
+  in
+  let batched =
+    List.map
+      (fun keys ->
+         let values, proof = Spitz.Db.get_batch_verified db keys in
+         (List.combine keys values, Option.get proof))
+      key_sets
+  in
+  (* per-key and batched reads must return the same values *)
+  List.iter2
+    (fun pk (items, _) ->
+       List.iter2 (fun (_, v, _) (_, v') -> assert (v = v')) pk items)
+    per_key batched;
+  (* decisions must be identical across modes, accept and reject alike *)
+  let one_decision pk =
+    List.for_all (fun (key, value, proof) -> Spitz.Db.verify_read ~digest ~key ~value proof) pk
+  in
+  let batch_decision (items, proof) = Spitz.Db.verify_batch_read ~digest ~items proof in
+  List.iter2
+    (fun pk b ->
+       let d = batch_decision b in
+       assert (one_decision pk = d);
+       assert d)
+    per_key batched;
+  (* a tampered claim must be rejected by every mode *)
+  (match (per_key, batched) with
+   | pk :: _, (items, bproof) :: _ ->
+     let k0, v0, p0 = List.hd pk in
+     let forged = Some (match v0 with Some v -> v ^ "!" | None -> "bogus") in
+     assert (not (Spitz.Db.verify_read ~digest ~key:k0 ~value:forged p0));
+     let forged_items = (k0, forged) :: List.tl items in
+     assert (not (Spitz.Db.verify_batch_read ~digest ~items:forged_items bproof))
+   | _ -> assert false);
+  (* wire bytes: [batch] per-key envelopes vs one batched envelope *)
+  let per_key_bytes =
+    List.fold_left
+      (fun acc pk ->
+         acc
+         + List.fold_left (fun a (_, _, p) -> a + String.length (L.encode_read_proof p)) 0 pk)
+      0 per_key
+  in
+  let batch_bytes =
+    List.fold_left (fun acc (_, p) -> acc + String.length (L.encode_batch_proof p)) 0 batched
+  in
+  assert (batch_bytes < per_key_bytes);
+  (* timings: keys verified per second, same pre-generated proofs *)
+  let keys_total = batches * batch in
+  let per_key_arr = Array.of_list per_key in
+  let batched_arr = Array.of_list batched in
+  let rounds = max 1 (2000 / keys_total) in
+  let time_mode f =
+    let (), seconds =
+      Runner.time (fun () ->
+          for _ = 1 to rounds do
+            f ()
+          done)
+    in
+    float_of_int (rounds * keys_total) /. seconds
+  in
+  let t_one =
+    time_mode (fun () -> Array.iter (fun pk -> assert (one_decision pk)) per_key_arr)
+  in
+  let t_batch =
+    time_mode (fun () -> Array.iter (fun b -> assert (batch_decision b)) batched_arr)
+  in
+  let pool = Pool.create (pool_size ()) in
+  let batched_list = Array.to_list batched_arr in
+  let t_par =
+    time_mode (fun () ->
+        let decisions = Pool.map_list pool batch_decision batched_list in
+        assert (List.for_all Fun.id decisions))
+  in
+  Pool.shutdown pool;
+  let speedup = t_batch /. t_one in
+  pr "%-24s%16s%14s\n" "mode" "verify k/s" "speedup";
+  pr "%-24s%16.1f%14s\n" "one-at-a-time" (Runner.kops t_one) "1.00";
+  pr "%-24s%16.1f%14.2f\n" "batched" (Runner.kops t_batch) speedup;
+  pr "%-24s%16.1f%14.2f\n" (Printf.sprintf "batched+pool(%d)" (pool_size ()))
+    (Runner.kops t_par) (t_par /. t_one);
+  pr "proof bytes: %d per-key vs %d batched (%.1fx smaller)\n" per_key_bytes batch_bytes
+    (float_of_int per_key_bytes /. float_of_int batch_bytes);
+  add_result "verify"
+    (J.Obj
+       [
+         ("records", J.Num (float_of_int n));
+         ("batch", J.Num (float_of_int batch));
+         ("batches", J.Num (float_of_int batches));
+         ("one_at_a_time_kops", J.Num (Runner.kops t_one));
+         ("batched_kops", J.Num (Runner.kops t_batch));
+         ("batched_parallel_kops", J.Num (Runner.kops t_par));
+         ("batched_speedup", J.Num speedup);
+         ("parallel_speedup", J.Num (t_par /. t_one));
+         ("per_key_proof_bytes", J.Num (float_of_int per_key_bytes));
+         ("batched_proof_bytes", J.Num (float_of_int batch_bytes));
+         ("proof_bytes_ratio",
+          J.Num (float_of_int per_key_bytes /. float_of_int batch_bytes));
+         ("decisions_equal", J.Bool true);
+       ]);
+  pr "(expected shape: batched verification several-fold above one-at-a-time —\n";
+  pr " one journal anchor and one proof-index build per batch instead of per\n";
+  pr " key — and the pool multiplies the batched mode further on multicore)\n"
+
 (* ---------- concurrency-control ablation ---------- *)
 
 let cc () =
@@ -879,11 +1018,18 @@ let bechamel () =
 
 (* ---------- decoded-node cache counters ---------- *)
 
-(* Cumulative over every figure run before this point: the caches are
-   module-level, shared by all stores. *)
+(* The module-level caches are shared by all stores; their counters are
+   zeroed at the start of each command so the report is attributable to the
+   commands of this run rather than to everything since process start. *)
+let reset_cache_stats () =
+  let module NC = Spitz_storage.Node_cache in
+  NC.reset_stats Spitz_adt.Kv_node.cache;
+  Spitz_adt.Mpt.reset_cache_stats ();
+  Spitz_adt.Mbt.reset_cache_stats ()
+
 let cache_report () =
   let module NC = Spitz_storage.Node_cache in
-  pr "\n== Decoded-node cache counters (cumulative) ==\n";
+  pr "\n== Decoded-node cache counters (since last command start) ==\n";
   pr "%-14s%12s%12s%12s%11s\n" "cache" "hits" "misses" "evictions" "hit-rate";
   let line name (s : NC.stats) =
     let total = s.NC.hits + s.NC.misses in
@@ -912,7 +1058,7 @@ let cache_report () =
 let usage () =
   pr
     "usage: main.exe \
-     [fig1|fig6a|fig6b|fig7|fig8a|fig8b|siri|verify-mode|cc|learned|pipeline|bechamel|all]\n\
+     [fig1|fig6a|fig6b|fig7|fig8a|fig8b|siri|verify|verify-mode|cc|learned|pipeline|bechamel|all]\n\
     \       [--scale N] [--ops N] [--domains N] [--out FILE]\n";
   exit 1
 
@@ -945,7 +1091,9 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let cmds = match List.rev !cmds with [] -> [ "all" ] | l -> l in
-  let run = function
+  let run cmd =
+    reset_cache_stats ();
+    match cmd with
     | "fig1" -> fig1 ()
     | "fig6a" -> fig6a ()
     | "fig6b" -> fig6b ()
@@ -953,6 +1101,7 @@ let () =
     | "fig8a" -> fig8 ~write:false ()
     | "fig8b" -> fig8 ~write:true ()
     | "siri" -> siri ()
+    | "verify" -> verify_bench ()
     | "verify-mode" -> verify_mode ()
     | "learned" -> learned ()
     | "cc" -> cc ()
@@ -966,6 +1115,7 @@ let () =
       fig8 ~write:false ();
       fig8 ~write:true ();
       siri ();
+      verify_bench ();
       verify_mode ();
       cc ();
       pipeline ();

@@ -108,6 +108,45 @@ let get_with_proof store root key =
     let value = go h in
     (value, { Siri.nodes = List.rev !nodes })
 
+(* Batched lookup: one traversal for the whole (sorted, deduplicated) key
+   set. [child_index] is monotone in the key, so the sorted keys split into
+   contiguous runs per child and every shared upper node is visited — and its
+   bytes recorded — exactly once, which is what makes the batched proof
+   smaller than the union of per-key paths. *)
+let prove_batch store root keys =
+  match root with
+  | None -> (List.map (fun _ -> None) keys, { Siri.nodes = [] })
+  | Some root_hash ->
+    let recorded = Hash.Table.create 64 in
+    let nodes = ref [] in
+    let results = Hashtbl.create (List.length keys) in
+    let rec go h keys =
+      let bytes = Object_store.get_exn store h in
+      if not (Hash.Table.mem recorded h) then begin
+        Hash.Table.replace recorded h ();
+        nodes := bytes :: !nodes
+      end;
+      match decode_cached h bytes with
+      | Leaf entries ->
+        List.iter (fun k -> Hashtbl.replace results k (List.assoc_opt k entries)) keys
+      | Internal children ->
+        let rec runs = function
+          | [] -> ()
+          | k :: _ as ks ->
+            let i = child_index children k in
+            let rec take acc = function
+              | k' :: rest when child_index children k' = i -> take (k' :: acc) rest
+              | rest -> (List.rev acc, rest)
+            in
+            let mine, rest = take [] ks in
+            go (snd (List.nth children i)) mine;
+            runs rest
+        in
+        runs keys
+    in
+    go root_hash (List.sort_uniq String.compare keys);
+    (List.map (fun k -> Hashtbl.find results k) keys, { Siri.nodes = List.rev !nodes })
+
 (* Child i covers [sep_i, sep_{i+1}); visit children overlapping [lo, hi]. *)
 let children_overlapping children ~lo ~hi =
   let n = List.length children in
@@ -183,6 +222,43 @@ let verify_get ~digest ~key ~value proof =
     match go digest with
     | Some found -> found = value
     | None | exception Not_found -> false
+  end
+
+(* Batched verification: the proof index is built (each node hashed) once and
+   each node decoded at most once for the whole batch; the per-key work is
+   then a pure walk over decoded nodes. *)
+let verify_get_batch ~digest ~items proof =
+  if Hash.is_null digest then
+    List.for_all (fun (_, v) -> v = None) items && proof.Siri.nodes = []
+  else begin
+    let index = Siri.proof_index proof in
+    let decoded = Hash.Table.create 64 in
+    let node_of h =
+      match Hash.Table.find_opt decoded h with
+      | Some _ as n -> n
+      | None ->
+        (match Hash.Map.find_opt h index with
+         | None -> None
+         | Some bytes ->
+           (match decode bytes with
+            | node ->
+              Hash.Table.replace decoded h node;
+              Some node
+            | exception Wire.Malformed _ -> None))
+    in
+    let check (key, value) =
+      let rec go h =
+        match node_of h with
+        | None -> None
+        | Some (Leaf entries) -> Some (List.assoc_opt key entries)
+        | Some (Internal []) -> None
+        | Some (Internal children) ->
+          let _, child = List.nth children (child_index children key) in
+          go child
+      in
+      go digest = Some value
+    in
+    List.for_all check items
   end
 
 let extract_range ~digest ~lo ~hi proof =

@@ -55,12 +55,13 @@ let store t = t.store
 let root_digest t = t.root
 let cardinal t = t.count
 
-let bucket_of_key t key =
-  (* first [depth] bits of the key hash select the bucket *)
+(* first 32 bits of the key hash; the low [depth] of them select the bucket *)
+let key_bits key =
   let h = Hash.to_raw (Hash.of_string key) in
-  let bits = Char.code h.[0] lsl 24 lor (Char.code h.[1] lsl 16)
-             lor (Char.code h.[2] lsl 8) lor Char.code h.[3] in
-  bits land (t.buckets - 1)
+  Char.code h.[0] lsl 24 lor (Char.code h.[1] lsl 16)
+  lor (Char.code h.[2] lsl 8) lor Char.code h.[3]
+
+let bucket_of_key t key = key_bits key land (t.buckets - 1)
 
 let log2 n =
   let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
@@ -86,6 +87,7 @@ let decode_cached h bytes =
   Node_cache.find_or_add cache h ~load:(fun () -> decode_node bytes)
 
 let cache_stats () = Node_cache.stats cache
+let reset_cache_stats () = Node_cache.reset_stats cache
 
 let load t h =
   match Node_cache.find cache h with
@@ -165,6 +167,31 @@ let get_with_proof t key =
   let v = go t.root 0 in
   (v, { Siri.nodes = List.rev !nodes })
 
+(* Batched lookup: the upper levels of the tree are shared between bucket
+   paths (the root always, more the closer two buckets hash), so recording
+   each node once makes the batched proof smaller than the per-key union. *)
+let prove_batch t keys =
+  let recorded = Hash.Table.create 64 in
+  let nodes = ref [] in
+  let lookup key =
+    let bucket = bucket_of_key t key in
+    let rec go h level =
+      let bytes = Object_store.get_exn t.store h in
+      if not (Hash.Table.mem recorded h) then begin
+        Hash.Table.replace recorded h ();
+        nodes := bytes :: !nodes
+      end;
+      match decode_cached h bytes with
+      | Bucket entries -> if level = t.depth then List.assoc_opt key entries else None
+      | Inner (l, r) ->
+        if level >= t.depth then None
+        else go (if bit_at t bucket level = 0 then l else r) (level + 1)
+    in
+    go t.root 0
+  in
+  let values = List.map lookup keys in
+  (values, { Siri.nodes = List.rev !nodes })
+
 let fold_buckets t f init =
   let acc = ref init in
   let rec go h level =
@@ -210,36 +237,57 @@ let range_with_proof t ~lo ~hi =
 let iter t f = fold_buckets t (fun () entries -> List.iter (fun (k, v) -> f k v) entries) ()
 
 (* --- Client-side verification. The verifier cannot know [depth] a priori;
-   it trusts the structure only through hashes, and bounds descent by the
-   proof itself. --- *)
+   it trusts the structure only through hashes. The proof length says nothing
+   about the depth (a batched proof covers many paths), so verification
+   searches for the unique depth d at which a descent steered by the low d
+   bits of the key hash reaches a Bucket at exactly level d. In an honest
+   tree all buckets sit at one depth, so at most one d succeeds: shallower
+   attempts find an Inner where a Bucket is required, deeper ones a Bucket
+   where an Inner is required. A path of depth d crosses d+1 distinct nodes
+   (the hash DAG is acyclic), which bounds the search by the proof size. *)
+
+let verify_get_batch ~digest ~items proof =
+  let index = Siri.proof_index proof in
+  let decoded = Hash.Table.create 64 in
+  let node_of h =
+    match Hash.Table.find_opt decoded h with
+    | Some _ as n -> n
+    | None ->
+      (match Hash.Map.find_opt h index with
+       | None -> None
+       | Some bytes ->
+         (match decode_node bytes with
+          | node ->
+            Hash.Table.replace decoded h node;
+            Some node
+          | exception Wire.Malformed _ -> None))
+  in
+  let max_d = min (List.length proof.Siri.nodes - 1) 32 in
+  let check (key, value) =
+    let bits = key_bits key in
+    let rec descend h level d bucket =
+      match node_of h with
+      | None -> None
+      | Some (Bucket entries) ->
+        if level = d then Some (List.assoc_opt key entries) else None
+      | Some (Inner (l, r)) ->
+        if level >= d then None
+        else descend (if (bucket lsr (d - 1 - level)) land 1 = 0 then l else r) (level + 1) d bucket
+    in
+    let rec search d =
+      if d > max_d then false
+      else begin
+        match descend digest 0 d (bits land ((1 lsl d) - 1)) with
+        | Some found -> found = value
+        | None -> search (d + 1)
+      end
+    in
+    search 0
+  in
+  List.for_all check items
 
 let verify_get ~digest ~key ~value proof =
-  let index = Siri.proof_index proof in
-  let max_depth = List.length proof.Siri.nodes in
-  let rec go h level bits_fn =
-    if level > max_depth then None
-    else begin
-      match Hash.Map.find_opt h index with
-      | None -> None
-      | Some bytes ->
-        (match try decode_node bytes with Wire.Malformed _ -> raise Not_found with
-         | Bucket entries -> Some (List.assoc_opt key entries)
-         | Inner (l, r) -> go (if bits_fn level = 0 then l else r) (level + 1) bits_fn)
-    end
-  in
-  (* The bucket index is recomputed from the key: depth = proof length - 1. *)
-  let depth = max 0 (max_depth - 1) in
-  let h = Hash.to_raw (Hash.of_string key) in
-  let bits = Char.code h.[0] lsl 24 lor (Char.code h.[1] lsl 16)
-             lor (Char.code h.[2] lsl 8) lor Char.code h.[3] in
-  let bucket = bits land ((1 lsl depth) - 1) in
-  let bit level =
-    let shift = depth - 1 - level in
-    if shift < 0 then 0 else (bucket lsr shift) land 1
-  in
-  match go digest 0 bit with
-  | Some found -> found = value
-  | None | exception Not_found -> false
+  verify_get_batch ~digest ~items:[ (key, value) ] proof
 
 let extract_range ~digest ~lo ~hi proof =
   let index = Siri.proof_index proof in

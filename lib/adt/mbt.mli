@@ -11,6 +11,10 @@ include Siri.S
 val cache_stats : unit -> Spitz_storage.Node_cache.stats
 (** Hit/miss/eviction counters of the module-level decoded-node cache. *)
 
+val reset_cache_stats : unit -> unit
+(** Zero the counters (cached nodes are kept) — benchmarks call this at the
+    start of each command so counters are attributable. *)
+
 val default_buckets : int
 
 val create_sized : buckets:int -> Spitz_storage.Object_store.t -> t

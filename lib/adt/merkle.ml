@@ -147,6 +147,73 @@ let verify_inclusion ~root:expected ~size ~index ~leaf proof =
     | _ -> false
   end
 
+(* --- Multiproofs: one proof for a set of leaves (CT-style). ---
+
+   The prover and verifier walk the same recursion as single-leaf proofs, but
+   carry the whole (sorted) index set: a subtree containing no target leaf is
+   covered by one range hash, a subtree containing targets recurses, and a
+   target leaf itself contributes nothing — the verifier supplies it. Shared
+   internal nodes of co-anchored paths are therefore encoded exactly once,
+   and the hash list is consumed in the deterministic left-to-right order the
+   prover emitted it in. *)
+
+type multiproof = Hash.t list
+
+let prove_multi t indices =
+  let n = size t in
+  let sorted = List.sort_uniq compare indices in
+  List.iter
+    (fun i -> if i < 0 || i >= n then invalid_arg "Merkle.prove_multi: index out of bounds")
+    sorted;
+  if n = 0 then []
+  else begin
+    let rec go idxs lo hi =
+      match idxs with
+      | [] -> [ range_hash t lo hi ]
+      | _ when hi - lo = 1 -> []
+      | _ ->
+        let k = pow2_below (hi - lo) in
+        let left, right = List.partition (fun i -> i < lo + k) idxs in
+        go left lo (lo + k) @ go right (lo + k) hi
+    in
+    go sorted 0 n
+  end
+
+let verify_multi ~root:expected ~size ~leaves proof =
+  let sorted = List.sort_uniq compare leaves in
+  (* the same index claimed with two different leaf hashes is inconsistent *)
+  let rec distinct = function
+    | (i, _) :: ((j, _) :: _ as rest) -> i <> j && distinct rest
+    | _ -> true
+  in
+  if size = 0 then sorted = [] && proof = [] && Hash.equal expected empty_root
+  else if sorted = [] then
+    (match proof with [ h ] -> Hash.equal h expected | _ -> false)
+  else if List.exists (fun (i, _) -> i < 0 || i >= size) sorted || not (distinct sorted) then
+    false
+  else begin
+    let rec go idxs lo hi path =
+      match idxs with
+      | [] -> (match path with h :: rest -> Some (h, rest) | [] -> None)
+      | [ (_, h) ] when hi - lo = 1 -> Some (h, path)
+      | _ ->
+        if hi - lo = 1 then None
+        else begin
+          let k = pow2_below (hi - lo) in
+          let left, right = List.partition (fun (i, _) -> i < lo + k) idxs in
+          match go left lo (lo + k) path with
+          | None -> None
+          | Some (hl, path) ->
+            (match go right (lo + k) hi path with
+             | None -> None
+             | Some (hr, path) -> Some (Hash.node hl hr, path))
+        end
+    in
+    match go sorted 0 size proof with
+    | Some (h, []) -> Hash.equal h expected
+    | _ -> false
+  end
+
 type consistency_proof = Hash.t list
 
 (* RFC 6962 2.1.2. [m] is the old size, the tree holds the new state. *)
@@ -196,3 +263,24 @@ let verify_consistency ~old_root ~old_size:m ~new_root ~new_size:n proof =
     | Some (o, nw, []) -> Hash.equal o old_root && Hash.equal nw new_root
     | _ -> false
   end
+
+(* --- Wire serialization: inclusion, consistency, and multiproofs all share
+   the hash-list shape, so one codec covers the three. --- *)
+
+module W = Spitz_storage.Wire
+
+let write_proof buf hashes = W.write_hash_list buf hashes
+let read_proof r = W.read_hash_list r
+
+let encode_proof hashes =
+  let buf = W.writer () in
+  write_proof buf hashes;
+  W.contents buf
+
+let decode_proof data =
+  let r = W.reader data in
+  let hashes = read_proof r in
+  if not (W.at_end r) then raise (W.Malformed "Merkle.decode_proof: trailing bytes");
+  hashes
+
+let proof_bytes hashes = String.length (encode_proof hashes)

@@ -48,6 +48,26 @@ val verify_inclusion :
   root:Hash.t -> size:int -> index:int -> leaf:Hash.t -> inclusion_proof -> bool
 (** [leaf] is the domain-separated leaf hash being proven present. *)
 
+type multiproof = Hash.t list
+(** One compact proof for a {e set} of leaves: shared internal nodes of
+    co-anchored audit paths are encoded exactly once (sorted-index frontier
+    merge), so a multiproof for [k] nearby leaves is strictly smaller than
+    [k] independent inclusion proofs. *)
+
+val prove_multi : t -> int list -> multiproof
+(** Multiproof for the given leaf indices (duplicates are collapsed; order is
+    irrelevant). Raises [Invalid_argument] on an out-of-bounds index. The
+    proof for every leaf of the tree is empty — the verifier recomputes the
+    root from the leaves alone. *)
+
+val verify_multi :
+  root:Hash.t -> size:int -> leaves:(int * Hash.t) list -> multiproof -> bool
+(** [leaves] are (index, domain-separated leaf hash) claims, any order;
+    verification recomputes the root from the claimed leaves plus the proof
+    hashes, consumed in the deterministic prover order. An empty claim set
+    verifies only the trivial proof ([root] itself, or [[]] on an empty
+    tree). *)
+
 type consistency_proof = Hash.t list
 
 val prove_consistency : t -> old_size:int -> consistency_proof
@@ -56,3 +76,18 @@ val prove_consistency : t -> old_size:int -> consistency_proof
 val verify_consistency :
   old_root:Hash.t -> old_size:int -> new_root:Hash.t -> new_size:int ->
   consistency_proof -> bool
+
+(** {1 Wire serialization}
+
+    Inclusion, consistency, and multiproofs share the hash-list wire shape;
+    one codec covers all three. *)
+
+val write_proof : Spitz_storage.Wire.writer -> Hash.t list -> unit
+val read_proof : Spitz_storage.Wire.reader -> Hash.t list
+
+val encode_proof : Hash.t list -> string
+val decode_proof : string -> Hash.t list
+(** Raises {!Spitz_storage.Wire.Malformed} on truncated or trailing bytes. *)
+
+val proof_bytes : Hash.t list -> int
+(** Serialized size of a proof in bytes. *)

@@ -95,6 +95,7 @@ let decode_cached h bytes =
   Node_cache.find_or_add cache h ~load:(fun () -> decode_node bytes)
 
 let cache_stats () = Node_cache.stats cache
+let reset_cache_stats () = Node_cache.reset_stats cache
 
 let load t h =
   match Node_cache.find cache h with
@@ -230,6 +231,41 @@ let get_with_proof t key =
     let v = go h (to_nibbles key) in
     (v, { Siri.nodes = List.rev !nodes })
 
+(* Batched lookup: key paths share every trie node above their divergence
+   point, and each visited node's bytes are recorded exactly once — the
+   decoded-node cache makes the repeated upper-node visits decode-free, so
+   this is one traversal's work with a deduplicated frontier. *)
+let prove_batch t keys =
+  match t.root with
+  | None -> (List.map (fun _ -> None) keys, { Siri.nodes = [] })
+  | Some root ->
+    let recorded = Hash.Table.create 64 in
+    let nodes = ref [] in
+    let lookup key =
+      let rec go h path =
+        let bytes = Object_store.get_exn t.store h in
+        if not (Hash.Table.mem recorded h) then begin
+          Hash.Table.replace recorded h ();
+          nodes := bytes :: !nodes
+        end;
+        match decode_cached h bytes with
+        | Leaf (lpath, v) -> if String.equal lpath path then Some v else None
+        | Ext (epath, child) ->
+          let p = common_prefix_len epath path in
+          if p = String.length epath then go child (drop path p) else None
+        | Branch (children, bvalue) ->
+          if String.length path = 0 then bvalue
+          else begin
+            match children.(Char.code path.[0]) with
+            | None -> None
+            | Some child -> go child (drop path 1)
+          end
+      in
+      go root (to_nibbles key)
+    in
+    let values = List.map lookup keys in
+    (values, { Siri.nodes = List.rev !nodes })
+
 (* A subtree whose keys all start with nibble-prefix [p] intersects the
    nibble range [lo, hi] iff p <= hi and (p >= lo or p is a prefix of lo). *)
 let prefix_intersects p ~lo ~hi =
@@ -327,6 +363,48 @@ let verify_get ~digest ~key ~value proof =
     match go digest (to_nibbles key) with
     | Some found -> found = value
     | None | exception Not_found -> false
+  end
+
+(* Batched verification: proof nodes are hashed once and decoded at most once
+   for the whole batch; each key's check is then a walk over decoded nodes. *)
+let verify_get_batch ~digest ~items proof =
+  if Hash.is_null digest then
+    List.for_all (fun (_, v) -> v = None) items && proof.Siri.nodes = []
+  else begin
+    let index = Siri.proof_index proof in
+    let decoded = Hash.Table.create 64 in
+    let node_of h =
+      match Hash.Table.find_opt decoded h with
+      | Some _ as n -> n
+      | None ->
+        (match Hash.Map.find_opt h index with
+         | None -> None
+         | Some bytes ->
+           (match decode_node bytes with
+            | node ->
+              Hash.Table.replace decoded h node;
+              Some node
+            | exception Wire.Malformed _ -> None))
+    in
+    let check (key, value) =
+      let rec go h path =
+        match node_of h with
+        | None -> None
+        | Some (Leaf (lpath, v)) -> Some (if String.equal lpath path then Some v else None)
+        | Some (Ext (epath, child)) ->
+          let p = common_prefix_len epath path in
+          if p = String.length epath then go child (drop path p) else Some None
+        | Some (Branch (children, bvalue)) ->
+          if String.length path = 0 then Some bvalue
+          else begin
+            match children.(Char.code path.[0]) with
+            | None -> Some None
+            | Some child -> go child (drop path 1)
+          end
+      in
+      go digest (to_nibbles key) = Some value
+    in
+    List.for_all check items
   end
 
 let extract_range ~digest ~lo ~hi proof =

@@ -6,6 +6,10 @@ include Siri.S
 val cache_stats : unit -> Spitz_storage.Node_cache.stats
 (** Hit/miss/eviction counters of the module-level decoded-node cache. *)
 
+val reset_cache_stats : unit -> unit
+(** Zero the counters (cached nodes are kept) — benchmarks call this at the
+    start of each command so counters are attributable. *)
+
 val to_nibbles : string -> string
 (** Key bytes as a string of 4-bit nibbles (each char 0..15). Exposed for
     tests. *)

@@ -15,6 +15,42 @@ let proof_size p = List.fold_left (fun acc n -> acc + String.length n) 0 p.nodes
 let proof_index p =
   List.fold_left (fun m n -> Hash.Map.add (Hash.of_string n) n m) Hash.Map.empty p.nodes
 
+(* Deduplicating union: each distinct node kept once, in first-seen order —
+   what a batched proof is, relative to its per-key constituents. *)
+let union proofs =
+  let seen = Hashtbl.create 64 in
+  let nodes = ref [] in
+  List.iter
+    (fun p ->
+       List.iter
+         (fun n ->
+            if not (Hashtbl.mem seen n) then begin
+              Hashtbl.replace seen n ();
+              nodes := n :: !nodes
+            end)
+         p.nodes)
+    proofs;
+  { nodes = List.rev !nodes }
+
+(* Wire codec: a proof is a length-prefixed list of node byte strings. *)
+let write_proof buf p = Spitz_storage.Wire.write_list buf Spitz_storage.Wire.write_string p.nodes
+
+let read_proof r = { nodes = Spitz_storage.Wire.read_list r Spitz_storage.Wire.read_string }
+
+let encode_proof p =
+  let buf = Spitz_storage.Wire.writer () in
+  write_proof buf p;
+  Spitz_storage.Wire.contents buf
+
+let decode_proof data =
+  let r = Spitz_storage.Wire.reader data in
+  let p = read_proof r in
+  if not (Spitz_storage.Wire.at_end r) then
+    raise (Spitz_storage.Wire.Malformed "Siri.decode_proof: trailing bytes");
+  p
+
+let proof_wire_bytes p = String.length (encode_proof p)
+
 module type S = sig
   type t
 
@@ -44,6 +80,13 @@ module type S = sig
   val get_with_proof : t -> string -> string option * proof
   (** Result plus a proof of presence (or absence) under [root_digest]. *)
 
+  val prove_batch : t -> string list -> string option list * proof
+  (** Batched {!get_with_proof}: values for the keys (in input order) plus
+      {e one} proof covering all of them. Path proofs are gathered in a
+      single traversal and shared upper nodes are encoded exactly once, so
+      the batched proof is never larger — and for co-anchored keys strictly
+      smaller — than the union of per-key proofs. *)
+
   val range : t -> lo:string -> hi:string -> (string * string) list
   (** Entries with [lo <= key <= hi], in key order. *)
 
@@ -54,6 +97,14 @@ module type S = sig
   val verify_get : digest:Hash.t -> key:string -> value:string option -> proof -> bool
   (** Client-side check that [value] is exactly what the index committed to by
       [digest] holds for [key] ([None] = proven absent). *)
+
+  val verify_get_batch :
+    digest:Hash.t -> items:(string * string option) list -> proof -> bool
+  (** Batched {!verify_get}: check every (key, claimed value) pair against
+      one shared proof. Each proof node is content-addressed (hashed) once
+      and decoded at most once across the whole batch, instead of per key —
+      this is where batched verification earns its throughput. True iff
+      {e every} claim checks out. *)
 
   val verify_range :
     digest:Hash.t -> lo:string -> hi:string -> entries:(string * string) list ->

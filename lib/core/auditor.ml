@@ -22,6 +22,7 @@ let record t ?statements writes = L.commit t.ledger ?statements writes
 
 (* Proof retrieval for the read path (section 5.1, read step 3). *)
 let get_with_proof t key = L.get_with_proof t.ledger key
+let get_batch_with_proof t keys = L.get_batch_with_proof t.ledger keys
 let range_with_proof t ~lo ~hi = L.range_with_proof t.ledger ~lo ~hi
 
 (* Write receipts for the write path (section 5.1, write step 2). *)
@@ -31,4 +32,15 @@ let consistency t ~old_size = Journal.prove_consistency (L.journal t.ledger) ~ol
 
 let history t key = L.history t.ledger key
 
-let audit t = L.audit t.ledger
+(* One multiproof covers a whole block's entries instead of entry_count
+   separate receipt checks. *)
+let audit_batch t ~height = L.audit_block t.ledger ~height
+
+(* Full audit: every chain link, plus every block's entries re-verified
+   against its header through one multiproof per block. *)
+let audit t =
+  L.audit t.ledger
+  &&
+  let n = L.height t.ledger in
+  let rec go h = h >= n || (audit_batch t ~height:h && go (h + 1)) in
+  go 0

@@ -21,6 +21,11 @@ val record : t -> ?statements:string list -> Ledger.write list -> int
 (** Commit a batch of changes as one ledger block; returns its height. *)
 
 val get_with_proof : t -> string -> string option * L.read_proof option
+val get_batch_with_proof :
+  t -> string list -> string option list * L.batch_read_proof option
+(** Batched read path: one proof — a single journal anchor plus the
+    deduplicated union of the keys' index paths — for the whole key set. *)
+
 val range_with_proof :
   t -> lo:string -> hi:string -> (string * string) list * L.read_proof option
 
@@ -31,4 +36,11 @@ val consistency : t -> old_size:int -> Spitz_adt.Merkle.consistency_proof
 
 val history : t -> string -> (int * string option) list
 
+val audit_batch : t -> height:int -> bool
+(** Audit one block by passing all its entries through a single Merkle
+    multiproof against the header's entries root, anchored in the journal by
+    one inclusion proof — instead of [entry_count] separate receipt checks. *)
+
 val audit : t -> bool
+(** Full audit: every chain link intact, and every block passes
+    {!audit_batch}. *)

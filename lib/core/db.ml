@@ -81,6 +81,10 @@ let get_verified t key =
   (* unified index: value and proof from one ledger traversal *)
   Auditor.get_with_proof t.auditor key
 
+let get_batch_verified t keys =
+  (* one traversal, one proof for the whole key set *)
+  Auditor.get_batch_with_proof t.auditor keys
+
 let range t ~lo ~hi = Cell_store.range_latest_values t.cells ~column:t.column ~pk_lo:lo ~pk_hi:hi
 
 let range_verified t ~lo ~hi = Auditor.range_with_proof t.auditor ~lo ~hi
@@ -104,6 +108,7 @@ let digest t = Auditor.digest t.auditor
 let consistency t ~old_size = Auditor.consistency t.auditor ~old_size
 
 let verify_read ~digest ~key ~value proof = L.verify_read ~digest ~key ~value proof
+let verify_batch_read ~digest ~items proof = L.verify_batch_read ~digest ~items proof
 let verify_range ~digest ~lo ~hi ~entries proof = L.verify_range ~digest ~lo ~hi ~entries proof
 let verify_write ~digest receipt = L.verify_write ~digest receipt
 

@@ -62,6 +62,13 @@ val get_verified : t -> string -> string option * L.read_proof option
 (** Value plus its integrity proof from the unified index ([None] proof only
     on an empty database). *)
 
+val get_batch_verified :
+  t -> string list -> string option list * L.batch_read_proof option
+(** Values for the keys (in input order) plus {e one} proof for the whole
+    set: a single journal anchor and the deduplicated union of the keys'
+    index paths — smaller to ship and cheaper to verify than per-key
+    proofs. *)
+
 val range : t -> lo:string -> hi:string -> (string * string) list
 (** Latest values for keys in [lo..hi], in key order. *)
 
@@ -89,6 +96,12 @@ val consistency : t -> old_size:int -> Spitz_adt.Merkle.consistency_proof
 val verify_read :
   digest:Journal.digest -> key:string -> value:string option -> L.read_proof -> bool
 
+val verify_batch_read :
+  digest:Journal.digest -> items:(string * string option) list ->
+  L.batch_read_proof -> bool
+(** Check every (key, claimed value) pair of a batched read against its one
+    proof. *)
+
 val verify_range :
   digest:Journal.digest -> lo:string -> hi:string ->
   entries:(string * string) list -> L.read_proof -> bool
@@ -96,7 +109,8 @@ val verify_range :
 val verify_write : digest:Journal.digest -> L.write_receipt -> bool
 
 val audit : t -> bool
-(** Re-walk every hash link of the journal. *)
+(** Re-walk every hash link of the journal, and re-verify every block's
+    entries against its header through one Merkle multiproof per block. *)
 
 val compact : ?keep_instances:int -> t -> int * int
 (** Bound the ever-growing store: keep the journal, the newest

@@ -45,6 +45,13 @@ val create_rooted :
 val entry_bytes : entry -> string
 (** Canonical serialization of one entry (the Merkle leaf data). *)
 
+val encode_entry : Spitz_storage.Wire.writer -> entry -> unit
+val decode_entry : Spitz_storage.Wire.reader -> entry
+val encode_header : Spitz_storage.Wire.writer -> header -> unit
+val decode_header : Spitz_storage.Wire.reader -> header
+(** Writer/reader-level codecs for embedding entries and headers in larger
+    wire structures (read proofs, write receipts). *)
+
 val entries_merkle : ?pool:Spitz_exec.Pool.t -> entry list -> Spitz_adt.Merkle.t
 (** The Merkle tree committing to the block's entries. *)
 

@@ -37,6 +37,15 @@ let head_hash t =
 
 let digest t = { root = Spitz_adt.Merkle.root t.tree; size = t.length }
 
+let write_digest buf d =
+  Wire.write_hash buf d.root;
+  Wire.write_varint buf d.size
+
+let read_digest r =
+  let root = Wire.read_hash r in
+  let size = Wire.read_varint r in
+  { root; size }
+
 let append t (block : Block.t) =
   let expected_prev = head_hash t in
   if not (Hash.equal block.header.prev_hash expected_prev) then

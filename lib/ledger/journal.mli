@@ -11,6 +11,10 @@ type t
 
 type digest = { root : Hash.t; size : int }
 
+val write_digest : Spitz_storage.Wire.writer -> digest -> unit
+val read_digest : Spitz_storage.Wire.reader -> digest
+(** Writer/reader-level digest codec for embedding in proof envelopes. *)
+
 val create : Spitz_storage.Object_store.t -> t
 
 val length : t -> int

@@ -177,34 +177,98 @@ module Make (Index : Siri.S) = struct
 
   (* Client side: check the block under the journal digest, then the value
      under the block's index root. A [None] result must be proven as either
-     absence or a tombstone. *)
-  let verify_read ~digest ~key ~value proof =
+     absence or a tombstone. The two halves are exposed separately so a
+     verifier batching many reads anchored at the same digest can pay the
+     journal-inclusion check once per block instead of once per key. *)
+  let verify_read_anchor ~digest proof =
     Journal.verify_inclusion ~digest ~height:proof.rp_height ~header:proof.rp_header
       proof.rp_journal
-    &&
-    let index_root = proof.rp_header.Block.index_root in
-    (match value with
-     | Some v -> Index.verify_get ~digest:index_root ~key ~value:(Some (tag_value v)) proof.rp_index
-     | None ->
-       Index.verify_get ~digest:index_root ~key ~value:None proof.rp_index
-       || Index.verify_get ~digest:index_root ~key ~value:(Some tombstone) proof.rp_index)
 
-  let verify_range ~digest ~lo ~hi ~entries proof =
-    Journal.verify_inclusion ~digest ~height:proof.rp_height ~header:proof.rp_header
-      proof.rp_journal
-    &&
+  let verify_read_at_root ~key ~value proof =
+    let index_root = proof.rp_header.Block.index_root in
+    match value with
+    | Some v -> Index.verify_get ~digest:index_root ~key ~value:(Some (tag_value v)) proof.rp_index
+    | None ->
+      Index.verify_get ~digest:index_root ~key ~value:None proof.rp_index
+      || Index.verify_get ~digest:index_root ~key ~value:(Some tombstone) proof.rp_index
+
+  let verify_read ~digest ~key ~value proof =
+    verify_read_anchor ~digest proof && verify_read_at_root ~key ~value proof
+
+  (* --- Batched reads --- *)
+
+  (* One proof for a whole key set: a single journal inclusion proof anchors
+     the block, and the index part is the deduplicated union of the keys'
+     path nodes, gathered in one traversal ({!Siri.S.prove_batch}). *)
+  type batch_read_proof = {
+    brp_height : int;             (* block whose index instance served the reads *)
+    brp_header : Block.header;
+    brp_journal : Merkle.inclusion_proof;
+    brp_digest : Journal.digest;  (* journal digest the proof is rooted in *)
+    brp_index : Siri.proof;       (* one deduplicated proof covering every key *)
+  }
+
+  let get_batch_with_proof t keys =
+    let n = Journal.length t.journal in
+    if n = 0 then (List.map (fun _ -> None) keys, None)
+    else begin
+      let height = n - 1 in
+      let tagged, brp_index = Index.prove_batch t.instances.(height) keys in
+      ( List.map (fun tv -> Option.bind tv untag) tagged,
+        Some
+          {
+            brp_height = height;
+            brp_header = Journal.header t.journal height;
+            brp_journal = Journal.prove_inclusion t.journal height;
+            brp_digest = Journal.digest t.journal;
+            brp_index;
+          } )
+    end
+
+  let verify_batch_anchor ~digest proof =
+    Journal.verify_inclusion ~digest ~height:proof.brp_height ~header:proof.brp_header
+      proof.brp_journal
+
+  (* A [None] claim is "absent OR tombstoned". The fast path reads every
+     [None] as genuine absence and settles the whole batch in one
+     {!Siri.S.verify_get_batch} call — a single proof-index build (each node
+     hashed once) for all keys. Only a batch whose [None] keys include
+     tombstones misses it and falls back to the per-key disjunction. *)
+  let verify_batch_at_root ~items proof =
+    let index_root = proof.brp_header.Block.index_root in
+    let as_absent = List.map (fun (k, v) -> (k, Option.map tag_value v)) items in
+    Index.verify_get_batch ~digest:index_root ~items:as_absent proof.brp_index
+    || begin
+      let present = List.filter (fun (_, v) -> v <> None) as_absent in
+      let absent = List.filter_map (fun (k, v) -> if v = None then Some k else None) items in
+      (present = [] || Index.verify_get_batch ~digest:index_root ~items:present proof.brp_index)
+      && List.for_all
+           (fun k ->
+              Index.verify_get_batch ~digest:index_root ~items:[ (k, None) ] proof.brp_index
+              || Index.verify_get_batch ~digest:index_root ~items:[ (k, Some tombstone) ]
+                   proof.brp_index)
+           absent
+    end
+
+  let verify_batch_read ~digest ~items proof =
+    verify_batch_anchor ~digest proof && verify_batch_at_root ~items proof
+
+  let verify_range_at_root ~lo ~hi ~entries proof =
     let index_root = proof.rp_header.Block.index_root in
     (* Recompute the committed (tagged) range contents from the proof, drop
        tombstones, and require exact equality with the claimed entries — this
        is sound against both fabricated rows and omissions. *)
-    (match Index.extract_range ~digest:index_root ~lo ~hi proof.rp_index with
-     | None -> false
-     | Some committed ->
-       let visible =
-         List.filter_map (fun (k, tagged) -> Option.map (fun v -> (k, v)) (untag tagged))
-           committed
-       in
-       visible = entries)
+    match Index.extract_range ~digest:index_root ~lo ~hi proof.rp_index with
+    | None -> false
+    | Some committed ->
+      let visible =
+        List.filter_map (fun (k, tagged) -> Option.map (fun v -> (k, v)) (untag tagged))
+          committed
+      in
+      visible = entries
+
+  let verify_range ~digest ~lo ~hi ~entries proof =
+    verify_read_anchor ~digest proof && verify_range_at_root ~lo ~hi ~entries proof
 
   (* --- Write receipts --- *)
 
@@ -236,15 +300,20 @@ module Make (Index : Siri.S) = struct
          })
       block.entries
 
-  let verify_write ~digest receipt =
+  let verify_write_anchor ~digest receipt =
     Journal.verify_inclusion ~digest ~height:receipt.wr_height ~header:receipt.wr_header
       receipt.wr_journal
-    && Merkle.verify_inclusion
-         ~root:receipt.wr_header.Block.entries_root
-         ~size:receipt.wr_header.Block.entry_count
-         ~index:receipt.wr_entry_index
-         ~leaf:(Hash.leaf (Block.entry_bytes receipt.wr_entry))
-         receipt.wr_entry_proof
+
+  let verify_write_entry receipt =
+    Merkle.verify_inclusion
+      ~root:receipt.wr_header.Block.entries_root
+      ~size:receipt.wr_header.Block.entry_count
+      ~index:receipt.wr_entry_index
+      ~leaf:(Hash.leaf (Block.entry_bytes receipt.wr_entry))
+      receipt.wr_entry_proof
+
+  let verify_write ~digest receipt =
+    verify_write_anchor ~digest receipt && verify_write_entry receipt
 
   (* --- History --- *)
 
@@ -265,6 +334,91 @@ module Make (Index : Siri.S) = struct
     !out
 
   let audit t = Journal.audit_chain t.journal
+
+  (* Per-block audit: one multiproof covering {e every} entry of the block
+     checks them all against the header's entries root at once (the
+     full-range multiproof is empty — the root is recomputed from the entries
+     alone), and one journal inclusion proof anchors the header — replacing
+     [entry_count] separate receipt verifications. *)
+  let audit_block t ~height =
+    let block = Journal.block t.journal height in
+    let n = List.length block.entries in
+    let tree = Block.entries_merkle block.entries in
+    let proof = Merkle.prove_multi tree (List.init n (fun i -> i)) in
+    let leaves = List.mapi (fun i e -> (i, Hash.leaf (Block.entry_bytes e))) block.entries in
+    block.header.Block.entry_count = n
+    && Merkle.verify_multi ~root:block.header.Block.entries_root ~size:n ~leaves proof
+    && Journal.verify_inclusion ~digest:(Journal.digest t.journal) ~height ~header:block.header
+         (Journal.prove_inclusion t.journal height)
+
+  (* --- Wire codecs for proof envelopes --- *)
+
+  let write_read_proof buf p =
+    Wire.write_varint buf p.rp_height;
+    Block.encode_header buf p.rp_header;
+    Merkle.write_proof buf p.rp_journal;
+    Journal.write_digest buf p.rp_digest;
+    Siri.write_proof buf p.rp_index
+
+  let read_read_proof r =
+    let rp_height = Wire.read_varint r in
+    let rp_header = Block.decode_header r in
+    let rp_journal = Merkle.read_proof r in
+    let rp_digest = Journal.read_digest r in
+    let rp_index = Siri.read_proof r in
+    { rp_height; rp_header; rp_journal; rp_digest; rp_index }
+
+  let write_batch_proof buf p =
+    Wire.write_varint buf p.brp_height;
+    Block.encode_header buf p.brp_header;
+    Merkle.write_proof buf p.brp_journal;
+    Journal.write_digest buf p.brp_digest;
+    Siri.write_proof buf p.brp_index
+
+  let read_batch_proof r =
+    let brp_height = Wire.read_varint r in
+    let brp_header = Block.decode_header r in
+    let brp_journal = Merkle.read_proof r in
+    let brp_digest = Journal.read_digest r in
+    let brp_index = Siri.read_proof r in
+    { brp_height; brp_header; brp_journal; brp_digest; brp_index }
+
+  let write_receipt_wire buf w =
+    Wire.write_varint buf w.wr_height;
+    Block.encode_header buf w.wr_header;
+    Block.encode_entry buf w.wr_entry;
+    Wire.write_varint buf w.wr_entry_index;
+    Merkle.write_proof buf w.wr_entry_proof;
+    Merkle.write_proof buf w.wr_journal;
+    Journal.write_digest buf w.wr_digest
+
+  let read_receipt_wire r =
+    let wr_height = Wire.read_varint r in
+    let wr_header = Block.decode_header r in
+    let wr_entry = Block.decode_entry r in
+    let wr_entry_index = Wire.read_varint r in
+    let wr_entry_proof = Merkle.read_proof r in
+    let wr_journal = Merkle.read_proof r in
+    let wr_digest = Journal.read_digest r in
+    { wr_height; wr_header; wr_entry; wr_entry_index; wr_entry_proof; wr_journal; wr_digest }
+
+  let encode_with write v =
+    let buf = Wire.writer () in
+    write buf v;
+    Wire.contents buf
+
+  let decode_with name read data =
+    let r = Wire.reader data in
+    let v = read r in
+    if not (Wire.at_end r) then raise (Wire.Malformed (name ^ ": trailing bytes"));
+    v
+
+  let encode_read_proof p = encode_with write_read_proof p
+  let decode_read_proof data = decode_with "Ledger.decode_read_proof" read_read_proof data
+  let encode_batch_proof p = encode_with write_batch_proof p
+  let decode_batch_proof data = decode_with "Ledger.decode_batch_proof" read_batch_proof data
+  let encode_receipt w = encode_with write_receipt_wire w
+  let decode_receipt data = decode_with "Ledger.decode_receipt" read_receipt_wire data
 
   (* --- retention --- *)
 

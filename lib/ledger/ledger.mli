@@ -56,11 +56,47 @@ module Make (Index : Siri.S) : sig
   (** Client side: block under the digest, then value (or proven absence /
       tombstone) under the block's index root. *)
 
+  val verify_read_anchor : digest:Journal.digest -> read_proof -> bool
+  val verify_read_at_root : key:string -> value:string option -> read_proof -> bool
+  (** The two halves of {!verify_read} — journal inclusion, index lookup — so
+      a batching verifier can pay the anchor check once per block instead of
+      once per key. [verify_read = anchor && at_root]. *)
+
+  type batch_read_proof = {
+    brp_height : int;            (** block whose index instance served the reads *)
+    brp_header : Block.header;
+    brp_journal : Merkle.inclusion_proof;
+    brp_digest : Journal.digest; (** digest the proof is rooted in *)
+    brp_index : Siri.proof;      (** one deduplicated proof covering every key *)
+  }
+  (** Proof for a whole key set, anchored at a single journal digest: one
+      journal inclusion proof per block instead of one per key, and the index
+      part is the deduplicated union of the keys' path nodes. *)
+
+  val get_batch_with_proof : t -> string list -> string option list * batch_read_proof option
+  (** Values for the keys (in input order, [None] = absent or deleted) plus
+      one batched proof; [None] proof on an empty ledger. *)
+
+  val verify_batch_read :
+    digest:Journal.digest -> items:(string * string option) list -> batch_read_proof -> bool
+  (** Check every (key, claimed value) pair against the one batched proof.
+      True iff the anchor holds and {e every} claim checks out. *)
+
+  val verify_batch_anchor : digest:Journal.digest -> batch_read_proof -> bool
+  val verify_batch_at_root : items:(string * string option) list -> batch_read_proof -> bool
+  (** The two halves of {!verify_batch_read}, mirroring
+      {!verify_read_anchor} / {!verify_read_at_root}. *)
+
   val verify_range :
     digest:Journal.digest -> lo:string -> hi:string ->
     entries:(string * string) list -> read_proof -> bool
   (** Recomputes the committed range from the proof and requires exact
       equality — sound against omissions, fabrications, substitutions. *)
+
+  val verify_range_at_root :
+    lo:string -> hi:string -> entries:(string * string) list -> read_proof -> bool
+  (** Index half of {!verify_range} ([verify_range = verify_read_anchor &&
+      verify_range_at_root]). *)
 
   type write_receipt = {
     wr_height : int;
@@ -75,11 +111,44 @@ module Make (Index : Siri.S) : sig
   val write_receipts : t -> height:int -> write_receipt list
   val verify_write : digest:Journal.digest -> write_receipt -> bool
 
+  val verify_write_anchor : digest:Journal.digest -> write_receipt -> bool
+  val verify_write_entry : write_receipt -> bool
+  (** The two halves of {!verify_write}: journal inclusion of the header, and
+      entry inclusion under the header's entries root. *)
+
   val history : t -> string -> (int * string option) list
   (** Every committed change to a key as (height, value-after), oldest
       first. *)
 
   val audit : t -> bool
+
+  val audit_block : t -> height:int -> bool
+  (** Per-block audit: one multiproof checks every entry of the block against
+      the header's entries root at once, and one journal inclusion proof
+      anchors the header — replacing [entry_count] separate receipt
+      verifications. *)
+
+  (** {1 Wire codecs}
+
+      Deterministic binary serialization of the proof envelopes, so proofs
+      can cross a network boundary to an out-of-process verifier. The
+      [decode_*] functions raise {!Spitz_storage.Wire.Malformed} on truncated
+      or trailing bytes. *)
+
+  val write_read_proof : Spitz_storage.Wire.writer -> read_proof -> unit
+  val read_read_proof : Spitz_storage.Wire.reader -> read_proof
+  val encode_read_proof : read_proof -> string
+  val decode_read_proof : string -> read_proof
+
+  val write_batch_proof : Spitz_storage.Wire.writer -> batch_read_proof -> unit
+  val read_batch_proof : Spitz_storage.Wire.reader -> batch_read_proof
+  val encode_batch_proof : batch_read_proof -> string
+  val decode_batch_proof : string -> batch_read_proof
+
+  val write_receipt_wire : Spitz_storage.Wire.writer -> write_receipt -> unit
+  val read_receipt_wire : Spitz_storage.Wire.reader -> write_receipt
+  val encode_receipt : write_receipt -> string
+  val decode_receipt : string -> write_receipt
 
   val mark_live : t -> keep_instances:int -> (Hash.t -> unit) -> unit
   (** Compaction mark phase: visit every block body and every node of the

@@ -18,7 +18,11 @@ module Make (Index : Siri.S) : sig
 
   type t
 
-  val create : ?mode:mode -> unit -> t
+  val create : ?mode:mode -> ?pool:Spitz_exec.Pool.t -> unit -> t
+  (** With [pool], {!flush} evaluates its coalesced verification jobs in
+      parallel. Decisions and counter values are identical at any pool size:
+      jobs are pure functions of their proofs, and counters are settled
+      serially in submission order. *)
 
   val digest : t -> Journal.digest option
   (** The current pin; [None] before the first {!sync}. *)
@@ -43,7 +47,12 @@ module Make (Index : Siri.S) : sig
   val submit_write : t -> L.write_receipt -> bool option
 
   val flush : t -> bool
-  (** Verify everything queued; [true] iff all passed. *)
+  (** Verify everything queued; [true] iff all passed. Queued checks are
+      coalesced first: one journal-anchor job per distinct (digest, height,
+      header) unit, and read claims whose (index root, key, value) triple was
+      already proven — in an earlier flush or earlier in this one — are
+      skipped via a persistent verified-set cache. The surviving jobs run on
+      the pool when one is attached. *)
 end
 
 module Default : module type of Make (Merkle_bptree)

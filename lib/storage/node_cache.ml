@@ -40,7 +40,7 @@ let stats t =
   Mutex.unlock t.m;
   s
 
-let reset_counters t =
+let reset_stats t =
   Mutex.lock t.m;
   t.st.hits <- 0;
   t.st.misses <- 0;

@@ -33,7 +33,10 @@ val stats : 'a t -> stats
 (** Live counters (a snapshot copy; safe to read while other domains use the
     cache). *)
 
-val reset_counters : 'a t -> unit
+val reset_stats : 'a t -> unit
+(** Zero the hit/miss/eviction counters (entries are kept). Benchmarks call
+    this at the start of each command so hit rates are per-run, not
+    cumulative. *)
 
 val find : 'a t -> Hash.t -> 'a option
 (** Look up a decoded node, promoting it to most recently used. Counts a hit

@@ -31,6 +31,8 @@ let write_list buf write_item items =
   write_varint buf (List.length items);
   List.iter (write_item buf) items
 
+let write_hash_list buf hashes = write_list buf (fun buf h -> write_hash buf h) hashes
+
 type reader = { data : string; mutable pos : int }
 
 exception Malformed of string
@@ -68,6 +70,8 @@ let read_hash r =
 let read_list r read_item =
   let n = read_varint r in
   List.init n (fun _ -> read_item r)
+
+let read_hash_list r = read_list r read_hash
 
 let read_byte r =
   if r.pos >= String.length r.data then raise (Malformed "byte: truncated");

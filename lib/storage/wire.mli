@@ -16,6 +16,9 @@ val write_hash : writer -> Hash.t -> unit
 val write_byte : writer -> char -> unit
 val write_list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
 
+val write_hash_list : writer -> Hash.t list -> unit
+(** Length-prefixed hash sequence — the wire shape of every Merkle proof. *)
+
 type reader
 
 exception Malformed of string
@@ -29,3 +32,4 @@ val read_string : reader -> string
 val read_hash : reader -> Hash.t
 val read_byte : reader -> char
 val read_list : reader -> (reader -> 'a) -> 'a list
+val read_hash_list : reader -> Hash.t list

@@ -204,6 +204,56 @@ let test_ledger_instance_sharing () =
   let added = (Object_store.stats store).Object_store.physical_bytes - before in
   Alcotest.(check bool) "block adds a path, not a tree" true (added * 20 < before)
 
+let test_ledger_batch_reads () =
+  let l = L.create (Object_store.create ()) in
+  for i = 0 to 99 do
+    ignore (L.commit l [ Ledger.Put (Printf.sprintf "k%03d" i, Printf.sprintf "v%d" i) ])
+  done;
+  ignore (L.commit l [ Ledger.Delete "k050" ]);
+  let digest = L.digest l in
+  let keys = [ "k001"; "k042"; "k050"; "nope"; "k099" ] in
+  let values, proof = L.get_batch_with_proof l keys in
+  let proof = Option.get proof in
+  Alcotest.(check (list (option string))) "values"
+    [ Some "v1"; Some "v42"; None; None; Some "v99" ]
+    values;
+  let items = List.combine keys values in
+  Alcotest.(check bool) "batch verifies" true (L.verify_batch_read ~digest ~items proof);
+  Alcotest.(check bool) "forged value" false
+    (L.verify_batch_read ~digest ~items:(("k001", Some "evil") :: List.tl items) proof);
+  Alcotest.(check bool) "forged presence of absent key" false
+    (L.verify_batch_read ~digest
+       ~items:(List.map (fun (k, v) -> (k, if k = "nope" then Some "ghost" else v)) items)
+       proof);
+  Alcotest.(check bool) "forged absence of present key" false
+    (L.verify_batch_read ~digest
+       ~items:(List.map (fun (k, v) -> (k, if k = "k042" then None else v)) items)
+       proof);
+  (* one batch proof serializes smaller than the per-key proofs it replaces *)
+  let batch_bytes = String.length (L.encode_batch_proof proof) in
+  let sum_bytes =
+    List.fold_left
+      (fun acc k ->
+         let _, p = L.get_with_proof l k in
+         acc + String.length (L.encode_read_proof (Option.get p)))
+      0 keys
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "batch proof %dB < %dB per-key" batch_bytes sum_bytes)
+    true (batch_bytes < sum_bytes);
+  (* wire codec *)
+  let decoded = L.decode_batch_proof (L.encode_batch_proof proof) in
+  Alcotest.(check bool) "decoded proof still verifies" true
+    (L.verify_batch_read ~digest ~items decoded);
+  Alcotest.check_raises "trailing bytes rejected"
+    (Wire.Malformed "Ledger.decode_batch_proof: trailing bytes")
+    (fun () -> ignore (L.decode_batch_proof (L.encode_batch_proof proof ^ "x")));
+  (* empty ledger: every key absent, no proof to give *)
+  let e = L.create (Object_store.create ()) in
+  let vs, p = L.get_batch_with_proof e [ "a"; "b" ] in
+  Alcotest.(check (list (option string))) "empty ledger values" [ None; None ] vs;
+  Alcotest.(check bool) "empty ledger has no proof" true (p = None)
+
 (* --- verifier --- *)
 
 let test_verifier_online () =
@@ -241,6 +291,109 @@ let test_verifier_deferred () =
   Alcotest.(check int) "three checked" 3 (V.checked client);
   Alcotest.(check int) "no failures" 0 (V.failures client)
 
+let test_verifier_deferred_batch_fill () =
+  (* the nth submission fills the batch and triggers verification *)
+  let l = L.create (Object_store.create ()) in
+  ignore (L.commit l [ Ledger.Put ("a", "1"); Ledger.Put ("b", "2"); Ledger.Put ("c", "3") ]);
+  let client = V.create ~mode:(V.Deferred 3) () in
+  ignore (V.sync client ~digest:(L.digest l) ~consistency:[]);
+  let submit key =
+    let value, proof = L.get_with_proof l key in
+    V.submit_read client ~key ~value (Option.get proof)
+  in
+  Alcotest.(check (option bool)) "queued a" None (submit "a");
+  Alcotest.(check (option bool)) "queued b" None (submit "b");
+  Alcotest.(check int) "nothing checked while queued" 0 (V.checked client);
+  Alcotest.(check (option bool)) "third fills the batch" (Some true) (submit "c");
+  Alcotest.(check int) "three checked" 3 (V.checked client);
+  Alcotest.(check int) "no failures" 0 (V.failures client)
+
+let test_verifier_deferred_partial_flush () =
+  let l = L.create (Object_store.create ()) in
+  ignore (L.commit l [ Ledger.Put ("a", "1"); Ledger.Put ("b", "2") ]);
+  let client = V.create ~mode:(V.Deferred 10) () in
+  ignore (V.sync client ~digest:(L.digest l) ~consistency:[]);
+  let submit key =
+    let value, proof = L.get_with_proof l key in
+    V.submit_read client ~key ~value (Option.get proof)
+  in
+  Alcotest.(check (option bool)) "queued a" None (submit "a");
+  Alcotest.(check (option bool)) "queued b" None (submit "b");
+  Alcotest.(check bool) "partial batch flushes clean" true (V.flush client);
+  Alcotest.(check int) "two checked" 2 (V.checked client);
+  Alcotest.(check int) "no failures" 0 (V.failures client);
+  Alcotest.(check bool) "empty flush is vacuously true" true (V.flush client);
+  (* a claim proven in an earlier flush is served from the verified cache *)
+  Alcotest.(check (option bool)) "re-queued" None (submit "a");
+  Alcotest.(check bool) "cached claim still verifies" true (V.flush client);
+  Alcotest.(check int) "re-check counted" 3 (V.checked client)
+
+let test_verifier_deferred_tamper () =
+  let l = L.create (Object_store.create ()) in
+  ignore (L.commit l [ Ledger.Put ("a", "1"); Ledger.Put ("b", "2") ]);
+  let client = V.create ~mode:(V.Deferred 10) () in
+  ignore (V.sync client ~digest:(L.digest l) ~consistency:[]);
+  let va, pa = L.get_with_proof l "a" in
+  ignore (V.submit_read client ~key:"a" ~value:va (Option.get pa));
+  let _, pb = L.get_with_proof l "b" in
+  ignore (V.submit_read client ~key:"b" ~value:(Some "lie") (Option.get pb));
+  Alcotest.(check bool) "tampered claim fails the flush" false (V.flush client);
+  Alcotest.(check int) "both checked" 2 (V.checked client);
+  Alcotest.(check int) "one failure" 1 (V.failures client);
+  (* the honest claim is unaffected: it verifies again on its own *)
+  ignore (V.submit_read client ~key:"a" ~value:va (Option.get pa));
+  Alcotest.(check bool) "honest claim clean after failed batch" true (V.flush client)
+
+let test_verifier_sync_rejects_non_append_only () =
+  let l = L.create (Object_store.create ()) in
+  ignore (L.commit l [ Ledger.Put ("a", "1") ]);
+  let client = V.create ~mode:(V.Deferred 4) () in
+  ignore (V.sync client ~digest:(L.digest l) ~consistency:[]);
+  let pinned = V.digest client in
+  (* a forked history that rewrote block 0 is not an append-only extension *)
+  let fork = L.create (Object_store.create ()) in
+  ignore (L.commit fork [ Ledger.Put ("a", "EVIL") ]);
+  ignore (L.commit fork [ Ledger.Put ("b", "2") ]);
+  Alcotest.(check bool) "non-append-only history rejected" false
+    (V.sync client ~digest:(L.digest fork)
+       ~consistency:(Journal.prove_consistency (L.journal fork) ~old_size:1));
+  Alcotest.(check int) "failure recorded" 1 (V.failures client);
+  Alcotest.(check bool) "pin unchanged" true (V.digest client = pinned)
+
+let test_verifier_pool_parity () =
+  (* the same submissions through a serial and a pooled client must produce
+     identical decisions and counters *)
+  let l = L.create (Object_store.create ()) in
+  for i = 0 to 29 do
+    ignore (L.commit l [ Ledger.Put (Printf.sprintf "k%02d" i, Printf.sprintf "v%d" i) ])
+  done;
+  let digest = L.digest l in
+  let pool = Spitz_exec.Pool.create 2 in
+  let run client =
+    ignore (V.sync client ~digest ~consistency:[]);
+    for i = 0 to 9 do
+      let key = Printf.sprintf "k%02d" i in
+      let value, proof = L.get_with_proof l key in
+      let value = if i = 7 then Some "lie" else value in
+      ignore (V.submit_read client ~key ~value (Option.get proof))
+    done;
+    let entries, rp = L.range_with_proof l ~lo:"k00" ~hi:"k05" in
+    ignore (V.submit_range client ~lo:"k00" ~hi:"k05" ~entries (Option.get rp));
+    List.iter
+      (fun r -> ignore (V.submit_write client r))
+      (L.write_receipts l ~height:3);
+    let ok = V.flush client in
+    (ok, V.checked client, V.failures client)
+  in
+  let serial = run (V.create ~mode:(V.Deferred 100) ()) in
+  let pooled = run (V.create ~mode:(V.Deferred 100) ~pool ()) in
+  Spitz_exec.Pool.shutdown pool;
+  Alcotest.(check (triple bool int int)) "identical decisions and counters" serial pooled;
+  let ok, checked, failures = serial in
+  Alcotest.(check bool) "the lie sinks the flush" false ok;
+  Alcotest.(check int) "all checks counted" 12 checked;
+  Alcotest.(check int) "exactly one failure" 1 failures
+
 let test_verifier_rejects_inconsistent_digest () =
   let l1 = L.create (Object_store.create ()) in
   let l2 = L.create (Object_store.create ()) in
@@ -269,8 +422,15 @@ let suite =
     Alcotest.test_case "ledger write receipts" `Quick test_ledger_write_receipts;
     Alcotest.test_case "ledger history" `Quick test_ledger_history;
     Alcotest.test_case "ledger instance sharing" `Quick test_ledger_instance_sharing;
+    Alcotest.test_case "ledger batch reads" `Quick test_ledger_batch_reads;
     Alcotest.test_case "verifier online" `Quick test_verifier_online;
     Alcotest.test_case "verifier deferred" `Quick test_verifier_deferred;
+    Alcotest.test_case "verifier deferred batch fill" `Quick test_verifier_deferred_batch_fill;
+    Alcotest.test_case "verifier deferred partial flush" `Quick test_verifier_deferred_partial_flush;
+    Alcotest.test_case "verifier deferred tamper" `Quick test_verifier_deferred_tamper;
+    Alcotest.test_case "verifier sync rejects rewrite" `Quick
+      test_verifier_sync_rejects_non_append_only;
+    Alcotest.test_case "verifier pool parity" `Quick test_verifier_pool_parity;
     Alcotest.test_case "verifier rejects forks" `Quick test_verifier_rejects_inconsistent_digest;
   ]
 
@@ -307,6 +467,21 @@ module Ledger_conformance (Index : Spitz_adt.Siri.S) = struct
          Alcotest.(check bool) (Index.name ^ ": receipt verifies") true
            (LX.verify_write ~digest r))
       (LX.write_receipts l ~height);
+    (* batched reads: present, tombstoned, and absent keys under one proof *)
+    let bkeys = [ "k01"; "k07"; "zz"; "k40" ] in
+    let bvals, bp = LX.get_batch_with_proof l bkeys in
+    let bp = Option.get bp in
+    Alcotest.(check (list (option string))) (Index.name ^ ": batch values")
+      [ Some "v1"; None; None; Some "v40" ]
+      bvals;
+    let items = List.combine bkeys bvals in
+    Alcotest.(check bool) (Index.name ^ ": batch verifies") true
+      (LX.verify_batch_read ~digest ~items bp);
+    Alcotest.(check bool) (Index.name ^ ": batch forgery fails") false
+      (LX.verify_batch_read ~digest ~items:(("k01", Some "evil") :: List.tl items) bp);
+    Alcotest.(check bool) (Index.name ^ ": batch codec roundtrip") true
+      (LX.verify_batch_read ~digest ~items
+         (LX.decode_batch_proof (LX.encode_batch_proof bp)));
     Alcotest.(check bool) (Index.name ^ ": audit") true (LX.audit l)
 end
 

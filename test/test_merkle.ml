@@ -117,6 +117,109 @@ let test_range_hash () =
   Alcotest.(check bool) "suffix range" true
     (Hash.equal (Merkle.range_hash t 8 13) (Merkle.root sub))
 
+let multi_claims t indices =
+  List.map (fun i -> (i, Merkle.leaf_hash t i)) (List.sort_uniq compare indices)
+
+let test_multi_basic () =
+  let n = 13 in
+  let t = Merkle.of_leaves (leaves n) in
+  let root = Merkle.root t in
+  let check name indices =
+    Alcotest.(check bool) name true
+      (Merkle.verify_multi ~root ~size:n ~leaves:(multi_claims t indices)
+         (Merkle.prove_multi t indices))
+  in
+  check "singleton" [ 5 ];
+  check "pair" [ 0; 12 ];
+  check "duplicates collapse" [ 3; 7; 3; 3 ];
+  check "full range" (List.init n Fun.id);
+  check "empty claim set" [];
+  (* the full-range multiproof is empty: the root follows from the leaves *)
+  Alcotest.(check int) "full-range proof is empty" 0
+    (List.length (Merkle.prove_multi t (List.init n Fun.id)));
+  (* singleton multiproof carries exactly the audit-path hashes *)
+  Alcotest.(check int) "singleton proof = inclusion path length"
+    (List.length (Merkle.prove_inclusion t 5))
+    (List.length (Merkle.prove_multi t [ 5 ]));
+  let e = Merkle.create () in
+  Alcotest.(check bool) "empty tree, empty claims" true
+    (Merkle.verify_multi ~root:(Merkle.root e) ~size:0 ~leaves:[]
+       (Merkle.prove_multi e []))
+
+let test_multi_rejects_forgery () =
+  let n = 29 in
+  let t = Merkle.of_leaves (leaves n) in
+  let root = Merkle.root t in
+  let indices = [ 2; 3; 11; 17; 28 ] in
+  let proof = Merkle.prove_multi t indices in
+  let good = multi_claims t indices in
+  Alcotest.(check bool) "honest claims verify" true
+    (Merkle.verify_multi ~root ~size:n ~leaves:good proof);
+  Alcotest.(check bool) "forged leaf hash" false
+    (Merkle.verify_multi ~root ~size:n
+       ~leaves:((2, Hash.leaf "forged") :: List.tl good) proof);
+  Alcotest.(check bool) "claim moved to wrong index" false
+    (Merkle.verify_multi ~root ~size:n
+       ~leaves:((4, Merkle.leaf_hash t 2) :: List.tl good) proof);
+  Alcotest.(check bool) "dropped claim" false
+    (Merkle.verify_multi ~root ~size:n ~leaves:(List.tl good) proof);
+  Alcotest.(check bool) "truncated proof" false
+    (Merkle.verify_multi ~root ~size:n ~leaves:good (List.tl proof));
+  Alcotest.(check bool) "padded proof" false
+    (Merkle.verify_multi ~root ~size:n ~leaves:good
+       (proof @ [ Hash.of_string "extra" ]));
+  Alcotest.(check bool) "wrong root" false
+    (Merkle.verify_multi ~root:(Hash.of_string "bad") ~size:n ~leaves:good proof);
+  Alcotest.(check bool) "out-of-range claim" false
+    (Merkle.verify_multi ~root ~size:n
+       ~leaves:(good @ [ (n, Hash.leaf "beyond") ]) proof)
+
+let test_multi_smaller_than_individual () =
+  (* k co-anchored leaves share most of their audit paths, so one multiproof
+     must serialize strictly smaller than k independent inclusion proofs *)
+  let n = 128 in
+  let t = Merkle.of_leaves (leaves n) in
+  let indices = [ 40; 41; 42; 43; 44; 45; 46; 47 ] in
+  let multi_bytes = Merkle.proof_bytes (Merkle.prove_multi t indices) in
+  let sum_bytes =
+    List.fold_left
+      (fun acc i -> acc + Merkle.proof_bytes (Merkle.prove_inclusion t i))
+      0 indices
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "multiproof %dB < %dB individual" multi_bytes sum_bytes)
+    true (multi_bytes < sum_bytes)
+
+let test_proof_codec () =
+  let t = Merkle.of_leaves (leaves 50) in
+  let multi = Merkle.prove_multi t [ 1; 7; 30; 31 ] in
+  Alcotest.(check bool) "multiproof roundtrip" true
+    (Merkle.decode_proof (Merkle.encode_proof multi) = multi);
+  let incl = Merkle.prove_inclusion t 9 in
+  Alcotest.(check bool) "inclusion roundtrip" true
+    (Merkle.decode_proof (Merkle.encode_proof incl) = incl);
+  Alcotest.(check int) "proof_bytes = encoded length"
+    (String.length (Merkle.encode_proof multi))
+    (Merkle.proof_bytes multi);
+  Alcotest.check_raises "trailing bytes rejected"
+    (Spitz_storage.Wire.Malformed "Merkle.decode_proof: trailing bytes")
+    (fun () -> ignore (Merkle.decode_proof (Merkle.encode_proof multi ^ "x")))
+
+let prop_multi =
+  QCheck.Test.make ~name:"multiproofs verify for random index sets" ~count:80
+    QCheck.(pair (int_range 1 200) (small_list (int_range 0 100_000)))
+    (fun (n, raw) ->
+       let t = Merkle.of_leaves (leaves n) in
+       let indices = List.map (fun i -> i mod n) raw in
+       let proof = Merkle.prove_multi t indices in
+       let claims = multi_claims t indices in
+       Merkle.verify_multi ~root:(Merkle.root t) ~size:n ~leaves:claims proof
+       && List.for_all
+            (fun (i, leaf) ->
+               Merkle.verify_inclusion ~root:(Merkle.root t) ~size:n ~index:i
+                 ~leaf (Merkle.prove_inclusion t i))
+            claims)
+
 let prop_inclusion =
   QCheck.Test.make ~name:"inclusion proofs verify for random sizes" ~count:60
     QCheck.(pair (int_range 1 300) (int_range 0 1000))
@@ -150,6 +253,12 @@ let suite =
     Alcotest.test_case "consistency rejects rewrite" `Quick test_consistency_rejects_rewrite;
     Alcotest.test_case "consistency edges" `Quick test_edge_consistency;
     Alcotest.test_case "range hash" `Quick test_range_hash;
+    Alcotest.test_case "multiproof basics" `Quick test_multi_basic;
+    Alcotest.test_case "multiproof rejects forgery" `Quick test_multi_rejects_forgery;
+    Alcotest.test_case "multiproof smaller than individual" `Quick
+      test_multi_smaller_than_individual;
+    Alcotest.test_case "proof wire codec" `Quick test_proof_codec;
+    QCheck_alcotest.to_alcotest prop_multi;
     QCheck_alcotest.to_alcotest prop_inclusion;
     QCheck_alcotest.to_alcotest prop_consistency;
   ]

@@ -245,7 +245,7 @@ let test_cache_hit_miss_stats () =
   Alcotest.(check int) "hits" 1 s.Node_cache.hits;
   Alcotest.(check int) "misses" 2 s.Node_cache.misses;
   Alcotest.(check int) "evictions" 0 s.Node_cache.evictions;
-  Node_cache.reset_counters c;
+  Node_cache.reset_stats c;
   let s = Node_cache.stats c in
   Alcotest.(check int) "reset hits" 0 s.Node_cache.hits;
   Alcotest.(check int) "reset misses" 0 s.Node_cache.misses
