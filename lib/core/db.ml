@@ -144,85 +144,304 @@ let compact ?(keep_instances = 16) t =
    Restore re-validates the hash chain and replays the journal to rebuild
    the cell store and inverted index. --- *)
 
+exception Corrupt = Object_store.Corrupt
+(* One error surface for every corruption mode of the persisted formats. *)
+
 let magic = "SPITZDB1"
 
 let save t path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-       output_string oc magic;
-       let buf = Wire.writer () in
-       Wire.write_string buf t.column;
-       Wire.write_byte buf (if t.inverted = None then '\000' else '\001');
-       Wire.write_list buf Wire.write_hash (L.body_hashes (Auditor.ledger t.auditor));
-       let header = Wire.contents buf in
-       output_binary_int oc (String.length header);
-       output_string oc header;
-       Object_store.dump t.store oc)
+  (* write to a temporary sibling and rename over the target: a crash
+     mid-save leaves the previous database file untouched, and rename is
+     atomic on POSIX filesystems *)
+  let tmp = path ^ ".tmp" in
+  (try
+     let oc = open_out_bin tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+          output_string oc magic;
+          let buf = Wire.writer () in
+          Wire.write_string buf t.column;
+          Wire.write_byte buf (if t.inverted = None then '\000' else '\001');
+          Wire.write_list buf Wire.write_hash (L.body_hashes (Auditor.ledger t.auditor));
+          let header = Wire.contents buf in
+          output_binary_int oc (String.length header);
+          output_string oc header;
+          Object_store.dump t.store oc;
+          flush oc;
+          Unix.fsync (Unix.descr_of_out_channel oc))
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Fault.hit "save.before_rename";
+  Sys.rename tmp path
+
+(* Rebuild a database around a restored object store: reopen the ledger from
+   the block addresses (the hash chain is re-validated on every append),
+   then replay the journal into the cell store and inverted index. *)
+let rebuild ?pool ~store ~column ~with_inverted bodies =
+  let ledger = L.restore ?pool store bodies in
+  let t =
+    {
+      store;
+      cells = Cell_store.create ~store ();
+      auditor = Auditor.of_ledger ledger;
+      column;
+      inverted = (if with_inverted then Some (Spitz_index.Inverted.create ()) else None);
+    }
+  in
+  let journal = L.journal ledger in
+  for height = 0 to Spitz_ledger.Journal.length journal - 1 do
+    let block = Spitz_ledger.Journal.block journal height in
+    List.iter
+      (fun (e : Spitz_ledger.Block.entry) ->
+         match e.Spitz_ledger.Block.op with
+         | Spitz_ledger.Block.Delete -> ()
+         | Spitz_ledger.Block.Insert | Spitz_ledger.Block.Update ->
+           let value =
+             (* normally from the index instance of that block; if that
+                instance was compacted away, recover small raw values by
+                their content address, else the version is gone *)
+             match L.get_at ledger ~height e.Spitz_ledger.Block.key with
+             | v -> v
+             | exception Not_found ->
+               Object_store.get store e.Spitz_ledger.Block.value_hash
+           in
+           (match value with
+            | None -> ()
+            | Some value ->
+              (* schema-layer keys carry their column; KV keys use the
+                 database's default column *)
+              let column, pk =
+                match String.index_opt e.Spitz_ledger.Block.key '\x1f' with
+                | Some i ->
+                  ( String.sub e.Spitz_ledger.Block.key 0 i,
+                    String.sub e.Spitz_ledger.Block.key (i + 1)
+                      (String.length e.Spitz_ledger.Block.key - i - 1) )
+                | None -> (t.column, e.Spitz_ledger.Block.key)
+              in
+              let ukey = Cell_store.write_cell t.cells ~column ~pk ~ts:height value in
+              (match t.inverted with
+               | Some inv when String.equal column t.column ->
+                 Spitz_index.Inverted.add inv (Spitz_index.Inverted.Str value)
+                   (Universal_key.encode ukey)
+               | _ -> ())))
+      block.Spitz_ledger.Block.entries
+  done;
+  t
+
+(* Restoration paths leak a zoo of exceptions — truncated channels, bad
+   shifts, missing objects, broken chain links. Collapse them all into
+   [Corrupt]: a reader of a damaged file needs one catchable error, not an
+   exhaustive list of internals. *)
+let corrupt_guard name f =
+  try f () with
+  | End_of_file -> raise (Corrupt (name ^ ": truncated file"))
+  | Invalid_argument msg -> raise (Corrupt (name ^ ": " ^ msg))
+  | Not_found -> raise (Corrupt (name ^ ": referenced object missing"))
+  | Wire.Malformed msg -> raise (Corrupt (name ^ ": " ^ msg))
+
+(* Snapshot header: magic, column id, inverted flag, block addresses. *)
+let read_snapshot_header ic =
+  let m = really_input_string ic (String.length magic) in
+  if not (String.equal m magic) then raise (Corrupt "Db.load: not a spitz database file");
+  let header_len = input_binary_int ic in
+  if header_len < 0 || header_len > in_channel_length ic - pos_in ic then
+    raise (Corrupt "Db.load: header length out of range");
+  let header = really_input_string ic header_len in
+  let r = Wire.reader header in
+  let column = Wire.read_string r in
+  let with_inverted = Wire.read_byte r = '\001' in
+  let bodies = Wire.read_list r Wire.read_hash in
+  (column, with_inverted, bodies)
 
 let load path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-       let m = really_input_string ic (String.length magic) in
-       if not (String.equal m magic) then failwith "Db.load: not a spitz database file";
-       let header_len = input_binary_int ic in
-       let header = really_input_string ic header_len in
-       let r = Wire.reader header in
-       let column = Wire.read_string r in
-       let with_inverted = Wire.read_byte r = '\001' in
-       let bodies = Wire.read_list r Wire.read_hash in
-       let store = Object_store.create () in
-       Object_store.restore store ic;
-       let ledger = L.restore store bodies in
-       let t =
-         {
-           store;
-           cells = Cell_store.create ~store ();
-           auditor = Auditor.of_ledger ledger;
-           column;
-           inverted = (if with_inverted then Some (Spitz_index.Inverted.create ()) else None);
-         }
-       in
-       (* replay the journal into the cell store (and inverted index) *)
-       let journal = L.journal ledger in
-       for height = 0 to Spitz_ledger.Journal.length journal - 1 do
-         let block = Spitz_ledger.Journal.block journal height in
-         List.iter
-           (fun (e : Spitz_ledger.Block.entry) ->
-              match e.Spitz_ledger.Block.op with
-              | Spitz_ledger.Block.Delete -> ()
-              | Spitz_ledger.Block.Insert | Spitz_ledger.Block.Update ->
-                let value =
-                  (* normally from the index instance of that block; if that
-                     instance was compacted away, recover small raw values by
-                     their content address, else the version is gone *)
-                  match L.get_at ledger ~height e.Spitz_ledger.Block.key with
-                  | v -> v
-                  | exception Not_found ->
-                    Object_store.get store e.Spitz_ledger.Block.value_hash
-                in
-                (match value with
-                 | None -> ()
-                 | Some value ->
-                   (* schema-layer keys carry their column; KV keys use the
-                      database's default column *)
-                   let column, pk =
-                     match String.index_opt e.Spitz_ledger.Block.key '\x1f' with
-                     | Some i ->
-                       ( String.sub e.Spitz_ledger.Block.key 0 i,
-                         String.sub e.Spitz_ledger.Block.key (i + 1)
-                           (String.length e.Spitz_ledger.Block.key - i - 1) )
-                     | None -> (t.column, e.Spitz_ledger.Block.key)
-                   in
-                   let ukey = Cell_store.write_cell t.cells ~column ~pk ~ts:height value in
-                   (match t.inverted with
-                    | Some inv when String.equal column t.column ->
-                      Spitz_index.Inverted.add inv (Spitz_index.Inverted.Str value)
-                        (Universal_key.encode ukey)
-                    | _ -> ())))
-           block.Spitz_ledger.Block.entries
-       done;
-       t)
+       corrupt_guard "Db.load" (fun () ->
+           let column, with_inverted, bodies = read_snapshot_header ic in
+           let store = Object_store.create () in
+           Object_store.restore store ic;
+           rebuild ~store ~column ~with_inverted bodies))
+
+(* --- durable database: snapshot + write-ahead object log ---
+
+   The snapshot is a point-in-time [save]; the write-ahead log fills the gap
+   since. Every ledger commit appends one log record carrying the objects
+   the commit added to the store (index nodes, the encoded block, value
+   blobs) plus the block's content address. Recovery is replay: restore the
+   snapshot, re-put each logged record's objects, and re-append its block —
+   the journal hash chain re-validates every link, so a record that decodes
+   but does not extend the chain is rejected as corrupt, while a torn tail
+   (CRC failure mid-record) is truncated and forgiven. *)
+
+type durable = {
+  db : t;
+  wal : Wal.t;
+  dir : string;
+  captured : string list ref; (* new store objects since the last log record, newest first *)
+  mutable closed : bool;
+}
+
+let snapshot_file dir = Filename.concat dir "snapshot"
+let wal_file dir = Filename.concat dir "wal"
+let meta_file dir = Filename.concat dir "meta"
+
+(* The database identity (column id, inverted flag) is written once at
+   creation, so a reopen before the first checkpoint — when no snapshot
+   exists yet — still knows what it is reopening. *)
+let write_meta dir ~column ~with_inverted =
+  let tmp = meta_file dir ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       output_string oc magic;
+       let buf = Wire.writer () in
+       Wire.write_string buf column;
+       Wire.write_byte buf (if with_inverted then '\001' else '\000');
+       output_string oc (Wire.contents buf));
+  Sys.rename tmp (meta_file dir)
+
+let read_meta dir =
+  let ic = open_in_bin (meta_file dir) in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+       corrupt_guard "Db.open_durable(meta)" (fun () ->
+           let m = really_input_string ic (String.length magic) in
+           if not (String.equal m magic) then
+             raise (Corrupt "Db.open_durable: meta file is not a spitz meta file");
+           let rest = really_input_string ic (in_channel_length ic - pos_in ic) in
+           let r = Wire.reader rest in
+           let column = Wire.read_string r in
+           let with_inverted = Wire.read_byte r = '\001' in
+           (column, with_inverted)))
+
+let encode_wal_record ~height ~body objects =
+  let buf = Wire.writer () in
+  Wire.write_varint buf height;
+  Wire.write_hash buf body;
+  Wire.write_list buf Wire.write_string objects;
+  Wire.contents buf
+
+let decode_wal_record data =
+  let r = Wire.reader data in
+  let height = Wire.read_varint r in
+  let body = Wire.read_hash r in
+  let objects = Wire.read_list r Wire.read_string in
+  if not (Wire.at_end r) then raise (Corrupt "wal record: trailing bytes");
+  (height, body, objects)
+
+let durable_db d = d.db
+let wal_size d = Wal.size d.wal
+
+let check_open d op = if d.closed then invalid_arg ("Db." ^ op ^ ": durable handle is closed")
+
+(* Wire the log into the commit path: the store observer captures every new
+   object; the ledger's commit hook drains the capture buffer into one log
+   record per committed block. *)
+let attach_wal db wal captured =
+  Object_store.set_observer db.store
+    (Some (fun _h data -> captured := data :: !captured));
+  L.set_on_commit
+    (Auditor.ledger db.auditor)
+    (Some
+       (fun ~height ~body _block ->
+          Fault.hit "commit.before_wal";
+          let objects = List.rev !captured in
+          captured := [];
+          Wal.append wal (encode_wal_record ~height ~body objects);
+          Fault.hit "commit.after_wal"))
+
+let open_durable ?(sync = Wal.Always) ?pool ?(column = "v") ?(with_inverted = false) dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  if not (Sys.is_directory dir) then
+    invalid_arg ("Db.open_durable: not a directory: " ^ dir);
+  let snap = snapshot_file dir in
+  (* a checkpoint that died before its rename leaves a stray temp file *)
+  (try Sys.remove (snap ^ ".tmp") with Sys_error _ -> ());
+  (try Sys.remove (meta_file dir ^ ".tmp") with Sys_error _ -> ());
+  (* the identity recorded at creation wins over the caller's defaults *)
+  let column, with_inverted =
+    if Sys.file_exists (meta_file dir) then read_meta dir else (column, with_inverted)
+  in
+  if not (Sys.file_exists (meta_file dir)) then write_meta dir ~column ~with_inverted;
+  (* 1. the last checkpoint, if any *)
+  let store, column, with_inverted, bodies =
+    if Sys.file_exists snap then begin
+      let ic = open_in_bin snap in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+           corrupt_guard "Db.open_durable(snapshot)" (fun () ->
+               let column, with_inverted, bodies = read_snapshot_header ic in
+               let store = Object_store.create () in
+               Object_store.restore store ic;
+               (store, column, with_inverted, bodies)))
+    end
+    else (Object_store.create (), column, with_inverted, [])
+  in
+  (* 2. replay the log after the checkpoint; a torn tail was already
+     truncated by [Wal.replay] *)
+  let replayed = Wal.replay ~repair:true (wal_file dir) in
+  let base = List.length bodies in
+  let extra =
+    corrupt_guard "Db.open_durable(wal)" (fun () ->
+        let next = ref base in
+        List.filter_map
+          (fun record ->
+             let height, body, objects = decode_wal_record record in
+             if height < base then None
+               (* a checkpoint made this record redundant before the log was
+                  truncated — the crash window between rename and reset *)
+             else begin
+               if height <> !next then
+                 raise
+                   (Corrupt
+                      (Printf.sprintf "wal: block height %d where %d expected" height !next));
+               incr next;
+               List.iter (fun data -> ignore (Object_store.put store data)) objects;
+               if not (Object_store.mem store body) then
+                 raise (Corrupt "wal: record does not contain its block body");
+               Some body
+             end)
+          replayed.Wal.records)
+  in
+  (* 3. rebuild; [Journal.append] inside re-validates every chain link *)
+  let db =
+    corrupt_guard "Db.open_durable" (fun () ->
+        rebuild ?pool ~store ~column ~with_inverted (bodies @ extra))
+  in
+  (* 4. belt and braces: re-walk the whole journal hash chain before serving *)
+  if not (L.audit (Auditor.ledger db.auditor)) then
+    raise (Corrupt "Db.open_durable: journal hash chain does not verify");
+  let wal = Wal.open_log ~sync (wal_file dir) in
+  let captured = ref [] in
+  attach_wal db wal captured;
+  { db; wal; dir; captured; closed = false }
+
+let checkpoint d =
+  check_open d "checkpoint";
+  Fault.hit "checkpoint.begin";
+  (* snapshot to temp + rename ([save] is atomic), then drop the log *)
+  save d.db (snapshot_file d.dir);
+  Wal.fsync_dir d.dir;
+  Fault.hit "checkpoint.after_rename";
+  Wal.reset d.wal;
+  (* objects captured since the last commit are inside the snapshot now *)
+  d.captured := []
+
+let sync_durable d =
+  check_open d "sync_durable";
+  Wal.sync d.wal
+
+let close_durable d =
+  if not d.closed then begin
+    (try Wal.close d.wal with Unix.Unix_error _ -> ());
+    Object_store.set_observer d.db.store None;
+    L.set_on_commit (Auditor.ledger d.db.auditor) None;
+    d.closed <- true
+  end

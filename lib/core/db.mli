@@ -121,11 +121,64 @@ val compact : ?keep_instances:int -> t -> int * int
 
 (** {1 Persistence} *)
 
+exception Corrupt of string
+(** The one error every persisted-format reader raises on damaged input —
+    truncation, bit rot, broken chain links, malformed framing. (An alias of
+    {!Spitz_storage.Object_store.Corrupt}.) *)
+
 val save : t -> string -> unit
 (** Write the database to a file: the content-addressed object stream plus
-    the journal's block addresses. *)
+    the journal's block addresses. The write goes to [path ^ ".tmp"] and is
+    renamed over [path] after an fsync, so a crash mid-save cannot damage an
+    existing database file. *)
 
 val load : string -> t
 (** Reopen a saved database. Re-validates the hash chain and replays the
-    journal to rebuild the cell store and inverted index. Raises [Failure]
-    on a corrupt or foreign file. *)
+    journal to rebuild the cell store and inverted index. Raises {!Corrupt}
+    on a damaged or foreign file. *)
+
+(** {1 Durability: snapshot + write-ahead log}
+
+    A durable database lives in a directory holding a [snapshot] (the last
+    checkpoint, {!save} format) and a [wal] (an append-only
+    {!Spitz_storage.Wal} of commits since). Every ledger commit — through
+    {e any} write path of the returned database — appends one log record
+    with the objects the commit added and its block address; the sync policy
+    decides how often the log is fsynced ([Always] = every commit durable,
+    [Interval n] = group commit, [Never] = OS-paced).
+
+    Recovery on {!open_durable} is replay: restore the snapshot, re-apply
+    the log's valid prefix (a torn tail at the first bad CRC is truncated,
+    not rejected), re-validate every journal hash-chain link, and re-walk
+    the chain once more before serving reads. Raises {!Corrupt} if what
+    remains after tail repair does not verify. *)
+
+type durable
+
+val open_durable :
+  ?sync:Spitz_storage.Wal.sync_policy -> ?pool:Spitz_exec.Pool.t ->
+  ?column:string -> ?with_inverted:bool -> string -> durable
+(** Open (creating if needed) the durable database in directory [dir].
+    [column] / [with_inverted] only apply to a freshly created database; an
+    existing database's recorded identity (meta file / snapshot header)
+    wins. Default sync policy: [Always]. *)
+
+val durable_db : durable -> t
+(** The live database; all reads and writes go through the normal {!t}
+    API — commits reach the log automatically. *)
+
+val checkpoint : durable -> unit
+(** Fold the log into a new snapshot: {!save} to a temp file, atomic
+    rename, then truncate the log. Crash-safe at every step — a failure
+    between rename and truncate only leaves redundant log records, which
+    recovery skips. *)
+
+val sync_durable : durable -> unit
+(** Force an fsync of the log now, regardless of policy. *)
+
+val wal_size : durable -> int
+(** Current log size in bytes (what the next {!checkpoint} will fold in). *)
+
+val close_durable : durable -> unit
+(** Flush and close the log and detach the commit hooks. Idempotent. The
+    inner {!t} remains usable in memory but no longer logs. *)

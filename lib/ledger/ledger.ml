@@ -32,6 +32,9 @@ module Make (Index : Siri.S) = struct
     mutable time : int;
     mutable next_txn : int;
     pool : Spitz_exec.Pool.t option; (* commit-pipeline parallelism; None = serial *)
+    mutable on_commit : (height:int -> body:Spitz_crypto.Hash.t -> Block.t -> unit) option;
+    (* durability hook: fires once per committed block, after the journal
+       append — the write-ahead log's attachment point *)
   }
 
   let create ?pool store =
@@ -42,7 +45,10 @@ module Make (Index : Siri.S) = struct
       time = 0;
       next_txn = 0;
       pool;
+      on_commit = None;
     }
+
+  let set_on_commit t f = t.on_commit <- f
 
   let store t = t.store
   let journal t = t.journal
@@ -118,6 +124,9 @@ module Make (Index : Siri.S) = struct
       t.instances <- bigger
     end;
     t.instances.(height) <- index;
+    (match t.on_commit with
+     | None -> ()
+     | Some f -> f ~height ~body:(Journal.body_hash t.journal height) block);
     height
 
   (* --- Reads --- *)

@@ -32,6 +32,14 @@ module Make (Index : Siri.S) : sig
   (** Commit one batch as a new block holding a fresh index instance;
       returns the block height. *)
 
+  val set_on_commit :
+    t -> (height:int -> body:Hash.t -> Block.t -> unit) option -> unit
+  (** Install (or clear) a hook fired once per committed block, after the
+      journal append, with the block's height, the content address of its
+      encoded body, and the block itself. The durable database layer uses
+      this to append each commit to the write-ahead log; {!restore} does not
+      fire it (those blocks are already durable). *)
+
   val get : t -> string -> string option
   val get_at : t -> height:int -> string -> string option
   (** Read against the index instance of an older block. Raises [Not_found]

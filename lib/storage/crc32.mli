@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-record
+    integrity check of the write-ahead log framing. Cheap enough to sit on
+    the commit path; strong enough to detect torn writes and bit rot, which
+    is all the log needs (the journal hash chain provides the cryptographic
+    guarantee once blocks are rebuilt). *)
+
+val digest : string -> int32
+(** CRC of a whole string. *)
+
+val update : int32 -> string -> int32
+(** Fold more bytes into a running CRC, so a frame's header and payload can
+    be checked without concatenation: [update (update 0l header) payload =
+    digest (header ^ payload)]. *)

@@ -8,11 +8,15 @@ type stats = {
   mutable logical_bytes : int;   (* bytes as if every put were stored *)
 }
 
+exception Corrupt of string
+
 type t = {
   objects : string Hash.Table.t;
   refcounts : int Hash.Table.t;
   stats : stats;
   chunk_params : Chunk.params;
+  mutable observer : (Hash.t -> string -> unit) option;
+  (* called once per newly stored object — the WAL capture hook *)
 }
 
 let create ?(chunk_params = Chunk.default_params) () = {
@@ -20,7 +24,10 @@ let create ?(chunk_params = Chunk.default_params) () = {
   refcounts = Hash.Table.create 4096;
   stats = { puts = 0; gets = 0; dedup_hits = 0; physical_bytes = 0; logical_bytes = 0 };
   chunk_params;
+  observer = None;
 }
+
+let set_observer t f = t.observer <- f
 
 let stats t = t.stats
 
@@ -42,7 +49,8 @@ let put t data =
    | None ->
      Hash.Table.replace t.objects h data;
      Hash.Table.replace t.refcounts h 1;
-     t.stats.physical_bytes <- t.stats.physical_bytes + String.length data);
+     t.stats.physical_bytes <- t.stats.physical_bytes + String.length data;
+     match t.observer with None -> () | Some f -> f h data);
   h
 
 let get t h =
@@ -55,17 +63,6 @@ let get_exn t h =
   | None -> raise Not_found
 
 let mem t h = Hash.Table.mem t.objects h
-
-let release t h =
-  match Hash.Table.find_opt t.refcounts h with
-  | None -> ()
-  | Some 1 ->
-    (match Hash.Table.find_opt t.objects h with
-     | Some data -> t.stats.physical_bytes <- t.stats.physical_bytes - String.length data
-     | None -> ());
-    Hash.Table.remove t.refcounts h;
-    Hash.Table.remove t.objects h
-  | Some n -> Hash.Table.replace t.refcounts h (n - 1)
 
 (* Large values are stored chunked: each chunk is a content-addressed object
    and the blob itself is a descriptor object listing the chunk hashes. Edits
@@ -92,6 +89,25 @@ let decode_descriptor data =
       Some hashes
     end
   end
+
+(* Drop one reference; when the last reference of a chunked blob goes, the
+   chunks its descriptor names lose a reference too, recursively — otherwise
+   every released blob leaks its chunks until the next sweep. *)
+let rec release t h =
+  match Hash.Table.find_opt t.refcounts h with
+  | None -> ()
+  | Some 1 ->
+    let parts =
+      match Hash.Table.find_opt t.objects h with
+      | Some data ->
+        t.stats.physical_bytes <- t.stats.physical_bytes - String.length data;
+        Option.value ~default:[] (decode_descriptor data)
+      | None -> []
+    in
+    Hash.Table.remove t.refcounts h;
+    Hash.Table.remove t.objects h;
+    List.iter (release t) parts
+  | Some n -> Hash.Table.replace t.refcounts h (n - 1)
 
 let looks_like_descriptor data =
   let prefix_len = String.length descriptor_magic in
@@ -190,13 +206,19 @@ let write_varint oc n =
   if n < 0 then invalid_arg "Object_store.write_varint: negative";
   go n
 
+(* A varint fits OCaml's 63-bit int in at most 9 groups of 7 bits; a stream
+   with more continuation bytes is malformed, and letting the shift run past
+   the word size is undefined [lsl] behaviour. A decoded value that came out
+   negative overflowed bit 62 — equally malformed. *)
 let read_varint ic =
   let rec go shift acc =
-    let b = input_byte ic in
+    if shift > 56 then raise (Corrupt "varint longer than 9 bytes");
+    let b = try input_byte ic with End_of_file -> raise (Corrupt "truncated varint") in
     let acc = acc lor ((b land 0x7f) lsl shift) in
     if b land 0x80 <> 0 then go (shift + 7) acc else acc
   in
-  go 0 0
+  let n = go 0 0 in
+  if n < 0 then raise (Corrupt "varint overflows int") else n
 
 let dump t oc =
   write_varint oc (object_count t);
@@ -208,10 +230,19 @@ let dump t oc =
     ()
 
 let restore t ic =
-  let n = read_varint ic in
-  for _ = 1 to n do
-    let len = read_varint ic in
-    let data = really_input_string ic len in
-    let refcount = read_varint ic in
-    ignore (restore_object t data refcount)
-  done
+  try
+    let n = read_varint ic in
+    for _ = 1 to n do
+      let len = read_varint ic in
+      (* bound the length by what the stream can actually hold before
+         allocating or blocking in [really_input_string] *)
+      let remaining = in_channel_length ic - pos_in ic in
+      if len > remaining then
+        raise (Corrupt (Printf.sprintf "object length %d exceeds remaining %d bytes" len remaining));
+      let data = really_input_string ic len in
+      let refcount = read_varint ic in
+      ignore (restore_object t data refcount)
+    done
+  with
+  | End_of_file -> raise (Corrupt "object stream truncated")
+  | Invalid_argument msg -> raise (Corrupt ("object stream invalid: " ^ msg))

@@ -7,6 +7,12 @@
 
 open Spitz_crypto
 
+exception Corrupt of string
+(** Raised by {!restore} (and by {!Spitz.Db.load}, which re-exports it) on a
+    truncated, bit-flipped, or otherwise malformed persisted stream — the
+    single error surface for corruption, replacing leaked [End_of_file] /
+    [Invalid_argument] exceptions. *)
+
 type t
 
 type stats = {
@@ -36,7 +42,14 @@ val get_exn : t -> Hash.t -> string
 val mem : t -> Hash.t -> bool
 
 val release : t -> Hash.t -> unit
-(** Drop one reference; the object is removed when its refcount reaches 0. *)
+(** Drop one reference; the object is removed when its refcount reaches 0.
+    Releasing the last reference of a chunked blob also releases one
+    reference of every chunk its descriptor names, recursively. *)
+
+val set_observer : t -> (Hash.t -> string -> unit) option -> unit
+(** Install (or clear) a hook called once per {e newly} stored object —
+    dedup hits do not fire it. The write-ahead log uses this to capture the
+    objects a commit adds, so they can be replayed after a crash. *)
 
 val put_blob : t -> string -> Hash.t
 (** Store a value with content-defined chunking when it exceeds the maximum
@@ -68,4 +81,6 @@ val dump : t -> out_channel -> unit
 
 val restore : t -> in_channel -> unit
 (** Read a {!dump}ed stream back. Content addresses are recomputed, so a
-    corrupted stream cannot silently alias an existing object. *)
+    corrupted stream cannot silently alias an existing object. Raises
+    {!Corrupt} on truncated or malformed input (oversized or negative
+    lengths are rejected before any allocation). *)

@@ -1,0 +1,161 @@
+type sync_policy = Always | Interval of int | Never
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  sync_policy : sync_policy;
+  mutable pending : int; (* appends since the last fsync *)
+  mutable bytes : int;   (* current file size *)
+  mutable closed : bool;
+}
+
+let header_len = 8 (* 4-byte length + 4-byte crc, both little-endian *)
+
+let le32 buf v =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let read_le32 s off =
+  let b i = Char.code s.[off + i] in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let open_log ?(sync = Always) path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  let bytes = (Unix.fstat fd).Unix.st_size in
+  { path; fd; sync_policy = sync; pending = 0; bytes; closed = false }
+
+let path t = t.path
+let policy t = t.sync_policy
+let size t = t.bytes
+
+let check_open t op = if t.closed then invalid_arg ("Wal." ^ op ^ ": log is closed")
+
+let fsync t =
+  Unix.fsync t.fd;
+  t.pending <- 0
+
+let sync t =
+  check_open t "sync";
+  fsync t
+
+let write_all fd s pos len =
+  let off = ref pos and left = ref len in
+  while !left > 0 do
+    let n = Unix.write_substring fd s !off !left in
+    off := !off + n;
+    left := !left - n
+  done
+
+let append t record =
+  check_open t "append";
+  let len = String.length record in
+  let head = Buffer.create header_len in
+  le32 head len;
+  let crc = Crc32.update (Crc32.digest (Buffer.contents head)) record in
+  le32 head (Int32.to_int (Int32.logand crc 0xffffffffl) land 0xffffffff);
+  let frame = Buffer.contents head ^ record in
+  if Fault.armed "wal.append.torn" then begin
+    (* simulate a torn write: half the frame reaches the file, then death *)
+    let half = max 1 (String.length frame / 2) in
+    write_all t.fd frame 0 half;
+    t.bytes <- t.bytes + half;
+    Fault.hit "wal.append.torn";
+    (* the armed countdown survived this hit: finish the frame normally *)
+    write_all t.fd frame half (String.length frame - half);
+    t.bytes <- t.bytes + (String.length frame - half)
+  end
+  else begin
+    write_all t.fd frame 0 (String.length frame);
+    t.bytes <- t.bytes + String.length frame
+  end;
+  Fault.hit "wal.append.before_sync";
+  (match t.sync_policy with
+   | Always -> fsync t
+   | Interval n ->
+     t.pending <- t.pending + 1;
+     if t.pending >= max 1 n then fsync t
+   | Never -> ())
+
+let reset t =
+  check_open t "reset";
+  Unix.ftruncate t.fd 0;
+  t.bytes <- 0;
+  t.pending <- 0;
+  fsync t
+
+let close t =
+  if not t.closed then begin
+    (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+    Unix.close t.fd;
+    t.closed <- true
+  end
+
+(* --- recovery --- *)
+
+type replay_result = {
+  records : string list;
+  good_bytes : int;
+  torn_bytes : int;
+}
+
+let replay ?(repair = true) path =
+  if not (Sys.file_exists path) then { records = []; good_bytes = 0; torn_bytes = 0 }
+  else begin
+    let ic = open_in_bin path in
+    let result =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+           let total = in_channel_length ic in
+           let records = ref [] in
+           let good = ref 0 in
+           let torn = ref false in
+           (* accept records until the frame breaks: a header that does not
+              fit, a length past the end of file, or a CRC mismatch all mean
+              the same thing — the tail after the last good record is torn *)
+           while (not !torn) && !good < total do
+             let remaining = total - !good in
+             if remaining < header_len then torn := true
+             else begin
+               let head = really_input_string ic header_len in
+               let len = read_le32 head 0 in
+               let crc = read_le32 head 4 in
+               if len < 0 || len > remaining - header_len then torn := true
+               else begin
+                 let payload = really_input_string ic len in
+                 let actual =
+                   Int32.to_int
+                     (Int32.logand
+                        (Crc32.update (Crc32.digest (String.sub head 0 4)) payload)
+                        0xffffffffl)
+                   land 0xffffffff
+                 in
+                 if actual <> crc then torn := true
+                 else begin
+                   records := payload :: !records;
+                   good := !good + header_len + len
+                 end
+               end
+             end
+           done;
+           { records = List.rev !records; good_bytes = !good; torn_bytes = total - !good })
+    in
+    if repair && result.torn_bytes > 0 then begin
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+           Unix.ftruncate fd result.good_bytes;
+           Unix.fsync fd)
+    end;
+    result
+  end
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())

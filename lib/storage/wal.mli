@@ -1,0 +1,66 @@
+(** Durable write-ahead object log.
+
+    An append-only file of opaque records, each framed as
+
+    {v  length (4 bytes LE) | crc32 (4 bytes LE) | payload  v}
+
+    where the CRC covers the length bytes and the payload. The log is the
+    durability gap-filler between snapshots: every ledger commit appends one
+    record, and recovery replays the records on top of the last snapshot.
+
+    Recovery ({!replay}) accepts the longest valid prefix: it stops at the
+    first record whose frame is truncated or whose CRC fails and (by
+    default) truncates that torn tail in place — a crash mid-append must
+    never reject the log wholesale, only lose the record being written.
+
+    Durability is governed by a group-commit policy: [Always] fsyncs every
+    append, [Interval n] fsyncs every [n]-th append (batching commits into
+    one disk flush), [Never] leaves flushing to the OS. Appends are single
+    [write] syscalls, so even [Never] keeps whole-record atomicity against
+    process death; the policy only decides what survives power loss. *)
+
+type sync_policy =
+  | Always          (** fsync after every append — full durability *)
+  | Interval of int (** fsync every n appends — group commit *)
+  | Never           (** no explicit fsync; the OS flushes eventually *)
+
+type t
+
+val open_log : ?sync:sync_policy -> string -> t
+(** Open (creating if absent) the log at [path] for appending; new records
+    go after the existing contents. Default policy: [Always]. *)
+
+val append : t -> string -> unit
+(** Append one record and apply the sync policy. Crash points:
+    ["wal.append.torn"] (frame half-written), ["wal.append.before_sync"]
+    (record written, not yet flushed). *)
+
+val sync : t -> unit
+(** Force an fsync now, regardless of policy. *)
+
+val reset : t -> unit
+(** Truncate the log to empty — called after a checkpoint has made its
+    records redundant. *)
+
+val path : t -> string
+val policy : t -> sync_policy
+val size : t -> int
+(** Current file size in bytes. *)
+
+val close : t -> unit
+(** Flush, fsync and close. Idempotent. *)
+
+type replay_result = {
+  records : string list; (** valid records, in append order *)
+  good_bytes : int;      (** file offset where the valid prefix ends *)
+  torn_bytes : int;      (** bytes after [good_bytes] that were discarded *)
+}
+
+val replay : ?repair:bool -> string -> replay_result
+(** Read the longest valid record prefix of the log at [path] (missing file
+    = empty log). With [repair] (the default) a torn tail is truncated in
+    place so the next append cannot splice onto garbage. *)
+
+val fsync_dir : string -> unit
+(** Fsync a directory, making a rename inside it durable; ignored on
+    filesystems that refuse to fsync directories. *)

@@ -3,6 +3,7 @@
 #
 #   scripts/bench.sh                      # full sweep, auto pool size
 #   scripts/bench.sh pipeline --domains 4 # any bench/main.exe arguments
+#   scripts/bench.sh durability           # WAL fsync policies + recovery
 #
 # Table output goes to stdout; the machine-readable results land in
 # BENCH_results.json at the repo root (override with --out FILE).

@@ -1,0 +1,549 @@
+open Spitz
+open Spitz_storage
+
+(* Persistence robustness: the write-ahead log, crash-point recovery, and
+   the corruption handling of every persisted format. *)
+
+let temp_file () = Filename.temp_file "spitz_dur" ".db"
+
+let temp_dir () =
+  let path = Filename.temp_file "spitz_dur" ".dir" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+        Fault.reset ();
+        rm_rf dir)
+    (fun () -> f dir)
+
+let copy_truncated src dst n =
+  let ic = open_in_bin src in
+  let data = really_input_string ic n in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc data;
+  close_out oc
+
+(* --- CRC32 --- *)
+
+let test_crc32_check_value () =
+  (* the standard CRC-32/ISO-HDLC check value *)
+  Alcotest.(check int32) "check value" 0xCBF43926l (Crc32.digest "123456789");
+  Alcotest.(check int32) "empty" 0l (Crc32.digest "");
+  Alcotest.(check int32) "incremental = whole" (Crc32.digest "hello world")
+    (Crc32.update (Crc32.digest "hello ") "world")
+
+(* --- WAL framing --- *)
+
+let test_wal_roundtrip () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "log" in
+      let records = List.init 20 (fun i -> Printf.sprintf "record-%d-%s" i (String.make i 'x')) in
+      let w = Wal.open_log ~sync:Wal.Always path in
+      List.iter (Wal.append w) records;
+      Wal.close w;
+      let r = Wal.replay path in
+      Alcotest.(check (list string)) "all records back" records r.Wal.records;
+      Alcotest.(check int) "no torn tail" 0 r.Wal.torn_bytes;
+      (* append after reopen extends, not overwrites *)
+      let w = Wal.open_log path in
+      Wal.append w "after-reopen";
+      Wal.close w;
+      let r = Wal.replay path in
+      Alcotest.(check (list string)) "extended" (records @ [ "after-reopen" ]) r.Wal.records)
+
+let test_wal_torn_tail_every_offset () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "log" in
+      let records = [ "alpha"; "beta-beta"; "gamma-gamma-gamma" ] in
+      let w = Wal.open_log path in
+      List.iter (Wal.append w) records;
+      Wal.close w;
+      let total = Fault.file_size path in
+      (* frame = 8-byte header + payload *)
+      let ends =
+        List.rev
+          (snd
+             (List.fold_left
+                (fun (off, acc) r -> (off + 8 + String.length r, (off + 8 + String.length r) :: acc))
+                (0, [ 0 ]) records))
+      in
+      for cut = 0 to total - 1 do
+        let trunc = Filename.concat dir "trunc" in
+        copy_truncated path trunc cut;
+        let r = Wal.replay ~repair:false trunc in
+        (* the valid prefix is exactly the records whose frames fit *)
+        let expect = List.length (List.filter (fun e -> e > 0 && e <= cut) ends) in
+        Alcotest.(check int)
+          (Printf.sprintf "records at cut %d" cut)
+          expect
+          (List.length r.Wal.records);
+        Alcotest.(check int)
+          (Printf.sprintf "good_bytes at cut %d" cut)
+          (List.fold_left (fun best e -> if e <= cut then max best e else best) 0 ends)
+          r.Wal.good_bytes;
+        Sys.remove trunc
+      done)
+
+let test_wal_bitflip_tail () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "log" in
+      let w = Wal.open_log path in
+      Wal.append w "first-record";
+      Wal.append w "second-record";
+      let sz_after_first = 8 + String.length "first-record" in
+      Wal.append w "third-record";
+      Wal.close w;
+      (* flip a bit inside the second record's payload: replay must keep the
+         first record only, and repair must truncate the file there *)
+      Fault.flip_bit path ~byte:(sz_after_first + 10) ~bit:3;
+      let r = Wal.replay ~repair:true path in
+      Alcotest.(check (list string)) "prefix before the flip" [ "first-record" ] r.Wal.records;
+      Alcotest.(check bool) "tail discarded" true (r.Wal.torn_bytes > 0);
+      Alcotest.(check int) "file repaired" sz_after_first (Fault.file_size path);
+      (* the repaired log accepts appends again *)
+      let w = Wal.open_log path in
+      Wal.append w "fourth";
+      Wal.close w;
+      Alcotest.(check (list string)) "append after repair" [ "first-record"; "fourth" ]
+        (Wal.replay path).Wal.records)
+
+(* --- satellite bugfix: atomic save --- *)
+
+let test_save_atomic_on_crash () =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () ->
+        Fault.reset ();
+        if Sys.file_exists path then Sys.remove path;
+        if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+    (fun () ->
+       let db = Db.open_db () in
+       ignore (Db.put db "k" "v1");
+       Db.save db path;
+       Alcotest.(check bool) "no temp left" false (Sys.file_exists (path ^ ".tmp"));
+       ignore (Db.put db "k" "v2");
+       Fault.arm "save.before_rename";
+       (match Db.save db path with
+        | exception Fault.Crash _ -> ()
+        | () -> Alcotest.fail "crash point did not fire");
+       (* the original file still loads and holds the old state *)
+       let db' = Db.load path in
+       Alcotest.(check (option string)) "pre-crash state intact" (Some "v1") (Db.get db' "k");
+       Alcotest.(check int) "one block" 1 (Db.L.height (Auditor.ledger (Db.auditor db'))))
+
+(* --- satellite bugfix: varint bounds + Corrupt --- *)
+
+let test_varint_overflow_rejected () =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       (* 11 continuation bytes: an unbounded decoder would shift past the
+          word size; ours must raise Corrupt, not misbehave *)
+       let oc = open_out_bin path in
+       output_string oc (String.make 11 '\xff');
+       close_out oc;
+       let ic = open_in_bin path in
+       Fun.protect
+         ~finally:(fun () -> close_in ic)
+         (fun () ->
+            match Object_store.restore (Object_store.create ()) ic with
+            | exception Object_store.Corrupt _ -> ()
+            | () -> Alcotest.fail "overflowing varint accepted"))
+
+let test_negative_length_rejected () =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       (* object count 1, then a 9-byte varint encoding a value with bit 62
+          set — negative as an OCaml int; must be Corrupt, not an
+          [Invalid_argument] from really_input_string *)
+       let oc = open_out_bin path in
+       output_string oc "\x01";
+       output_string oc "\x80\x80\x80\x80\x80\x80\x80\x80\x40";
+       close_out oc;
+       let ic = open_in_bin path in
+       Fun.protect
+         ~finally:(fun () -> close_in ic)
+         (fun () ->
+            match Object_store.restore (Object_store.create ()) ic with
+            | exception Object_store.Corrupt _ -> ()
+            | () -> Alcotest.fail "negative length accepted"))
+
+let test_oversized_length_rejected () =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       (* an object claiming to be 1 GiB in a 10-byte file: must be rejected
+          before any allocation *)
+       let oc = open_out_bin path in
+       output_string oc "\x01";
+       output_string oc "\x80\x80\x80\x80\x04"; (* varint 2^30 *)
+       output_string oc "data";
+       close_out oc;
+       let ic = open_in_bin path in
+       Fun.protect
+         ~finally:(fun () -> close_in ic)
+         (fun () ->
+            match Object_store.restore (Object_store.create ()) ic with
+            | exception Object_store.Corrupt _ -> ()
+            | () -> Alcotest.fail "oversized length accepted"))
+
+(* --- satellite bugfix: recursive release of chunked blobs --- *)
+
+let test_release_chunked_blob () =
+  let s = Object_store.create () in
+  (* well above the 4 KiB chunking threshold *)
+  let big = String.init 100_000 (fun i -> Char.chr (i * 31 mod 256)) in
+  let h = Object_store.put_blob s big in
+  Alcotest.(check bool) "chunked" true (List.length (Object_store.blob_parts s h) > 1);
+  Alcotest.(check bool) "many objects" true (Object_store.object_count s > 1);
+  Object_store.release s h;
+  Alcotest.(check int) "all chunks freed" 0 (Object_store.object_count s);
+  Alcotest.(check int) "no bytes retained" 0
+    (Object_store.stats s).Object_store.physical_bytes
+
+let test_release_shared_chunks_survive () =
+  let s = Object_store.create () in
+  let big = String.init 100_000 (fun i -> Char.chr (i * 31 mod 256)) in
+  (* a local edit: the two blobs share most chunks *)
+  let edited = String.sub big 0 50_000 ^ "EDITEDEDITED" ^ String.sub big 50_012 (100_000 - 50_012) in
+  let h1 = Object_store.put_blob s big in
+  let h2 = Object_store.put_blob s edited in
+  Object_store.release s h1;
+  (* the surviving blob must still reassemble in full *)
+  Alcotest.(check bool) "first blob gone" false (Object_store.mem s h1);
+  Alcotest.(check (option string)) "second blob intact" (Some edited) (Object_store.get_blob s h2);
+  Object_store.release s h2;
+  Alcotest.(check int) "everything freed" 0 (Object_store.object_count s)
+
+(* --- snapshot corruption: truncation at every offset, bit flips --- *)
+
+let small_db () =
+  let db = Db.open_db () in
+  for i = 0 to 4 do
+    ignore (Db.put db (Printf.sprintf "k%d" i) (Printf.sprintf "value-%d" i))
+  done;
+  db
+
+let test_load_truncation_every_offset () =
+  let path = temp_file () in
+  let trunc = temp_file () in
+  Fun.protect
+    ~finally:(fun () ->
+        Sys.remove path;
+        Sys.remove trunc)
+    (fun () ->
+       let db = small_db () in
+       Db.save db path;
+       let total = Fault.file_size path in
+       for cut = 0 to total - 1 do
+         copy_truncated path trunc cut;
+         match Db.load trunc with
+         | exception Db.Corrupt _ -> ()
+         | exception e ->
+           Alcotest.failf "cut at %d leaked %s" cut (Printexc.to_string e)
+         | _ -> Alcotest.failf "cut at %d accepted a strict prefix" cut
+       done)
+
+let test_load_bitflip_no_silent_corruption () =
+  let path = temp_file () in
+  let flipped = temp_file () in
+  Fun.protect
+    ~finally:(fun () ->
+        Sys.remove path;
+        Sys.remove flipped)
+    (fun () ->
+       let db = small_db () in
+       let digest = Db.digest db in
+       Db.save db path;
+       let total = Fault.file_size path in
+       (* a flipped bit must either surface as Corrupt or leave the loaded
+          database bit-identical (flips in refcount metadata) — never a
+          silently different ledger and never a foreign exception *)
+       let step = max 1 (total / 200) in
+       let off = ref 0 in
+       while !off < total do
+         copy_truncated path flipped total;
+         Fault.flip_bit flipped ~byte:!off ~bit:(!off mod 8);
+         (match Db.load flipped with
+          | exception Db.Corrupt _ -> ()
+          | exception e ->
+            Alcotest.failf "flip at %d leaked %s" !off (Printexc.to_string e)
+          | db' ->
+            Alcotest.(check bool)
+              (Printf.sprintf "flip at %d: digest intact" !off)
+              true
+              (Spitz_crypto.Hash.equal digest.Spitz_ledger.Journal.root
+                 (Db.digest db').Spitz_ledger.Journal.root
+               && Db.audit db'));
+         off := !off + step
+       done)
+
+(* --- durable database: basic operation --- *)
+
+let test_durable_basic_roundtrip () =
+  with_dir (fun dir ->
+      let d = Db.open_durable dir in
+      let db = Db.durable_db d in
+      for i = 0 to 9 do
+        ignore (Db.put db (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i))
+      done;
+      let digest = Db.digest db in
+      Db.close_durable d;
+      (* no checkpoint ever taken: recovery is pure log replay *)
+      let d' = Db.open_durable dir in
+      let db' = Db.durable_db d' in
+      Alcotest.(check int) "height recovered" 10
+        (Db.digest db').Spitz_ledger.Journal.size;
+      Alcotest.(check bool) "digest identical" true
+        (Spitz_crypto.Hash.equal digest.Spitz_ledger.Journal.root
+           (Db.digest db').Spitz_ledger.Journal.root);
+      for i = 0 to 9 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "k%d" i)
+          (Some (Printf.sprintf "v%d" i))
+          (Db.get db' (Printf.sprintf "k%d" i))
+      done;
+      Alcotest.(check bool) "audit" true (Db.audit db');
+      (* writes keep flowing to the log after recovery *)
+      ignore (Db.put db' "k10" "v10");
+      Db.close_durable d';
+      let d'' = Db.open_durable dir in
+      Alcotest.(check int) "one more block" 11
+        (Db.digest (Db.durable_db d'')).Spitz_ledger.Journal.size;
+      Db.close_durable d'')
+
+let test_durable_checkpoint () =
+  with_dir (fun dir ->
+      let d = Db.open_durable dir in
+      let db = Db.durable_db d in
+      for i = 0 to 4 do
+        ignore (Db.put db (Printf.sprintf "a%d" i) "x")
+      done;
+      Db.checkpoint d;
+      Alcotest.(check int) "log empty after checkpoint" 0 (Db.wal_size d);
+      for i = 0 to 4 do
+        ignore (Db.put db (Printf.sprintf "b%d" i) "y")
+      done;
+      Alcotest.(check bool) "log grew again" true (Db.wal_size d > 0);
+      let digest = Db.digest db in
+      Db.close_durable d;
+      let d' = Db.open_durable dir in
+      let db' = Db.durable_db d' in
+      Alcotest.(check int) "snapshot + log replay" 10
+        (Db.digest db').Spitz_ledger.Journal.size;
+      Alcotest.(check bool) "digest identical" true
+        (Spitz_crypto.Hash.equal digest.Spitz_ledger.Journal.root
+           (Db.digest db').Spitz_ledger.Journal.root);
+      Alcotest.(check (option string)) "pre-checkpoint key" (Some "x") (Db.get db' "a3");
+      Alcotest.(check (option string)) "post-checkpoint key" (Some "y") (Db.get db' "b3");
+      Db.close_durable d')
+
+let test_durable_large_values_and_batches () =
+  with_dir (fun dir ->
+      let big = String.init 50_000 (fun i -> Char.chr (i * 13 mod 256)) in
+      let d = Db.open_durable ~with_inverted:true dir in
+      let db = Db.durable_db d in
+      ignore (Db.put db "big" big);
+      ignore (Db.put_batch db [ ("p", "1"); ("q", "2"); ("r", "3") ]);
+      Db.close_durable d;
+      let d' = Db.open_durable dir in
+      let db' = Db.durable_db d' in
+      Alcotest.(check (option string)) "chunked value recovered" (Some big) (Db.get db' "big");
+      Alcotest.(check (option string)) "batch member" (Some "2") (Db.get db' "q");
+      (* the inverted flag is part of the database identity and survives *)
+      Alcotest.(check bool) "inverted index rebuilt" true
+        (Db.search_value db' "2" <> []);
+      Db.close_durable d')
+
+let test_durable_fsync_policies () =
+  List.iter
+    (fun sync ->
+       with_dir (fun dir ->
+           let d = Db.open_durable ~sync dir in
+           let db = Db.durable_db d in
+           for i = 0 to 6 do
+             ignore (Db.put db (Printf.sprintf "k%d" i) "v")
+           done;
+           Db.sync_durable d;
+           Db.close_durable d;
+           let d' = Db.open_durable dir in
+           Alcotest.(check int) "all commits recovered" 7
+             (Db.digest (Db.durable_db d')).Spitz_ledger.Journal.size;
+           Db.close_durable d'))
+    [ Wal.Always; Wal.Interval 3; Wal.Never ]
+
+(* --- kill-at-every-crash-point recovery --- *)
+
+(* Each site maps to the number of commits that must survive when the crash
+   hits while committing the (n+1)-th key: before the log record is written
+   (or while it is half-written) the commit is lost; once the record is on
+   disk the commit is durable. *)
+let commit_crash_sites =
+  [ ("commit.before_wal", 5); ("wal.append.torn", 5); ("wal.append.before_sync", 6);
+    ("commit.after_wal", 6) ]
+
+let test_crash_during_commit () =
+  List.iter
+    (fun (site, survive) ->
+       with_dir (fun dir ->
+           let d = Db.open_durable ~sync:Wal.Always dir in
+           let db = Db.durable_db d in
+           for i = 0 to 4 do
+             ignore (Db.put db (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i))
+           done;
+           Fault.arm site;
+           (match Db.put db "k5" "v5" with
+            | exception Fault.Crash name ->
+              Alcotest.(check string) (site ^ " fired") site name
+            | _ -> Alcotest.failf "%s did not fire" site);
+           Fault.reset ();
+           (* the crashed handle is abandoned, as a dead process would be *)
+           let d' = Db.open_durable dir in
+           let db' = Db.durable_db d' in
+           Alcotest.(check int)
+             (site ^ ": durable prefix")
+             survive
+             (Db.digest db').Spitz_ledger.Journal.size;
+           for i = 0 to 4 do
+             Alcotest.(check (option string))
+               (Printf.sprintf "%s: k%d" site i)
+               (Some (Printf.sprintf "v%d" i))
+               (Db.get db' (Printf.sprintf "k%d" i))
+           done;
+           Alcotest.(check (option string))
+             (site ^ ": crashed commit")
+             (if survive = 6 then Some "v5" else None)
+             (Db.get db' "k5");
+           Alcotest.(check bool) (site ^ ": chain verifies") true (Db.audit db');
+           (* the recovered database accepts new commits *)
+           ignore (Db.put db' "post" "crash");
+           Db.close_durable d'))
+    commit_crash_sites
+
+let checkpoint_crash_sites =
+  [ "checkpoint.begin"; "save.before_rename"; "checkpoint.after_rename" ]
+
+let test_crash_during_checkpoint () =
+  List.iter
+    (fun site ->
+       with_dir (fun dir ->
+           let d = Db.open_durable ~sync:Wal.Always dir in
+           let db = Db.durable_db d in
+           for i = 0 to 4 do
+             ignore (Db.put db (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i))
+           done;
+           let digest = Db.digest db in
+           Fault.arm site;
+           (match Db.checkpoint d with
+            | exception Fault.Crash name ->
+              Alcotest.(check string) (site ^ " fired") site name
+            | () -> Alcotest.failf "%s did not fire" site);
+           Fault.reset ();
+           (* whatever step died, every commit was already durable *)
+           let d' = Db.open_durable dir in
+           let db' = Db.durable_db d' in
+           Alcotest.(check int) (site ^ ": nothing lost") 5
+             (Db.digest db').Spitz_ledger.Journal.size;
+           Alcotest.(check bool) (site ^ ": digest identical") true
+             (Spitz_crypto.Hash.equal digest.Spitz_ledger.Journal.root
+                (Db.digest db').Spitz_ledger.Journal.root);
+           Alcotest.(check bool) (site ^ ": chain verifies") true (Db.audit db');
+           (* a fresh checkpoint completes and the log drains *)
+           Db.checkpoint d';
+           Alcotest.(check int) (site ^ ": log drained") 0 (Db.wal_size d');
+           ignore (Db.put db' "post" "checkpoint");
+           Db.close_durable d';
+           let d'' = Db.open_durable dir in
+           Alcotest.(check int) (site ^ ": post-recovery commit durable") 6
+             (Db.digest (Db.durable_db d'')).Spitz_ledger.Journal.size;
+           Db.close_durable d''))
+    checkpoint_crash_sites
+
+let test_durable_torn_log_file () =
+  with_dir (fun dir ->
+      let d = Db.open_durable ~sync:Wal.Always dir in
+      let db = Db.durable_db d in
+      for i = 0 to 2 do
+        ignore (Db.put db (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i))
+      done;
+      Db.close_durable d;
+      (* rip bytes off the log's tail: the last commit becomes torn *)
+      let wal = Filename.concat dir "wal" in
+      Fault.truncate_file wal (Fault.file_size wal - 5);
+      let d' = Db.open_durable dir in
+      let db' = Db.durable_db d' in
+      Alcotest.(check int) "torn commit dropped" 2
+        (Db.digest db').Spitz_ledger.Journal.size;
+      Alcotest.(check (option string)) "survivor" (Some "v1") (Db.get db' "k1");
+      Alcotest.(check (option string)) "torn commit gone" None (Db.get db' "k2");
+      Alcotest.(check bool) "chain verifies" true (Db.audit db');
+      (* the log was repaired in place: appends splice onto the good prefix *)
+      ignore (Db.put db' "k2" "replayed");
+      Db.close_durable d';
+      let d'' = Db.open_durable dir in
+      Alcotest.(check (option string)) "replacement durable" (Some "replayed")
+        (Db.get (Db.durable_db d'') "k2");
+      Db.close_durable d'')
+
+let test_durable_corrupt_log_record () =
+  with_dir (fun dir ->
+      let d = Db.open_durable ~sync:Wal.Always dir in
+      let db = Db.durable_db d in
+      for i = 0 to 2 do
+        ignore (Db.put db (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i))
+      done;
+      Db.close_durable d;
+      (* bit rot in the middle of the log: everything from the first bad CRC
+         on is treated as torn — the durable prefix before it survives *)
+      let wal = Filename.concat dir "wal" in
+      Fault.flip_bit wal ~byte:(Fault.file_size wal / 2) ~bit:5;
+      let d' = Db.open_durable dir in
+      let db' = Db.durable_db d' in
+      let size = (Db.digest db').Spitz_ledger.Journal.size in
+      Alcotest.(check bool) "a strict prefix survives" true (size >= 1 && size < 3);
+      Alcotest.(check bool) "chain verifies" true (Db.audit db');
+      Alcotest.(check (option string)) "first commit always durable" (Some "v0")
+        (Db.get db' "k0");
+      Db.close_durable d')
+
+let suite =
+  [
+    Alcotest.test_case "crc32 check value" `Quick test_crc32_check_value;
+    Alcotest.test_case "wal roundtrip" `Quick test_wal_roundtrip;
+    Alcotest.test_case "wal torn tail at every offset" `Quick test_wal_torn_tail_every_offset;
+    Alcotest.test_case "wal bit flip truncates tail" `Quick test_wal_bitflip_tail;
+    Alcotest.test_case "save is atomic under crash" `Quick test_save_atomic_on_crash;
+    Alcotest.test_case "varint overflow rejected" `Quick test_varint_overflow_rejected;
+    Alcotest.test_case "negative length rejected" `Quick test_negative_length_rejected;
+    Alcotest.test_case "oversized length rejected" `Quick test_oversized_length_rejected;
+    Alcotest.test_case "release frees blob chunks" `Quick test_release_chunked_blob;
+    Alcotest.test_case "release keeps shared chunks" `Quick test_release_shared_chunks_survive;
+    Alcotest.test_case "load: truncation at every offset" `Quick test_load_truncation_every_offset;
+    Alcotest.test_case "load: bit flips never corrupt silently" `Quick
+      test_load_bitflip_no_silent_corruption;
+    Alcotest.test_case "durable roundtrip (log only)" `Quick test_durable_basic_roundtrip;
+    Alcotest.test_case "durable checkpoint" `Quick test_durable_checkpoint;
+    Alcotest.test_case "durable large values + batches" `Quick
+      test_durable_large_values_and_batches;
+    Alcotest.test_case "durable fsync policies" `Quick test_durable_fsync_policies;
+    Alcotest.test_case "crash at every commit site" `Quick test_crash_during_commit;
+    Alcotest.test_case "crash at every checkpoint site" `Quick test_crash_during_checkpoint;
+    Alcotest.test_case "torn log tail recovers" `Quick test_durable_torn_log_file;
+    Alcotest.test_case "corrupt log record recovers" `Quick test_durable_corrupt_log_record;
+  ]

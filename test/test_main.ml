@@ -3,6 +3,7 @@ let () =
     [
       ("crypto", Test_crypto.suite);
       ("storage", Test_storage.suite);
+      ("durability", Test_durability.suite);
       ("exec", Test_exec.suite);
       ("merkle", Test_merkle.suite);
       ("adt", Test_adt.suite);
