@@ -34,6 +34,7 @@ let scale = ref 4
 let ops = ref 10_000
 let domains = ref 0 (* 0 = auto *)
 let out_file = ref "BENCH_results.json"
+let exit_code = ref 0
 
 let pool_size () = if !domains > 0 then !domains else Spitz_exec.Pool.default_size ()
 
@@ -1139,6 +1140,49 @@ let bechamel () =
     tests;
   add_result "bechamel_ns_per_op" (J.Obj (List.rev !json_rows))
 
+(* ---------- adversarial fuzz loop (nightly budget) ---------- *)
+
+let deadline = ref 60.
+let fuzz_seed = ref 0
+
+(* Deadline-bounded run of the lib/check adversarial fuzzer: mutated proofs,
+   receipts, and WAL files against every verifier. Each round's seed is
+   printed, so any failure replays deterministically with
+   [Spitz_check.Fuzz.fuzz_all ~seed:<printed> ()] — or by re-running this
+   command with [--fuzz-seed]. Exits nonzero on any accepted mutant or
+   foreign exception. *)
+let fuzz_cmd () =
+  let module F = Spitz_check.Fuzz in
+  let seed =
+    if !fuzz_seed <> 0 then !fuzz_seed
+    else int_of_float (Unix.gettimeofday () *. 1000.) land 0x3FFFFFFF
+  in
+  pr "== Adversarial proof/WAL fuzz: deadline %.0fs, master seed %d ==\n" !deadline seed;
+  pr "   (replay one round: Spitz_check.Fuzz.fuzz_all ~seed:<round seed> ())\n";
+  flush stdout;
+  let report =
+    F.run_deadline ~deadline:!deadline ~seed (fun ~round ~seed r ->
+        pr "round %d (seed %d): %s\n" round seed (F.pp_report r);
+        flush stdout)
+  in
+  add_result "fuzz"
+    (J.Obj
+       [
+         ("master_seed", J.Num (float_of_int seed));
+         ("deadline_s", J.Num !deadline);
+         ("total", J.Num (float_of_int report.F.total));
+         ("rejected_decode", J.Num (float_of_int report.F.rejected_decode));
+         ("rejected_verify", J.Num (float_of_int report.F.rejected_verify));
+         ("benign", J.Num (float_of_int report.F.benign));
+         ("accepted", J.Num (float_of_int (List.length report.F.accepted)));
+         ("foreign", J.Num (float_of_int (List.length report.F.foreign)));
+         ("ok", J.Bool (F.ok report));
+       ]);
+  if not (F.ok report) then begin
+    pr "FUZZ FAILURE — replay with the last printed round seed\n%s\n" (F.pp_report report);
+    exit_code := 1
+  end
+
 (* ---------- decoded-node cache counters ---------- *)
 
 (* The module-level caches are shared by all stores; their counters are
@@ -1181,8 +1225,9 @@ let cache_report () =
 let usage () =
   pr
     "usage: main.exe \
-     [fig1|fig6a|fig6b|fig7|fig8a|fig8b|siri|verify|verify-mode|cc|learned|pipeline|durability|bechamel|all]\n\
-    \       [--scale N] [--ops N] [--domains N] [--out FILE]\n";
+     [fig1|fig6a|fig6b|fig7|fig8a|fig8b|siri|verify|verify-mode|cc|learned|pipeline|durability|bechamel|fuzz|all]\n\
+    \       [--scale N] [--ops N] [--domains N] [--out FILE]\n\
+    \       [--deadline SECONDS] [--fuzz-seed N]   (fuzz; seed 0 = time-derived)\n";
   exit 1
 
 let () =
@@ -1208,6 +1253,16 @@ let () =
     | "--out" :: v :: rest ->
       out_file := v;
       parse rest
+    | "--deadline" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some f -> deadline := f
+       | None ->
+         pr "bad value %S for --deadline (expected seconds)\n" v;
+         usage ());
+      parse rest
+    | "--fuzz-seed" :: v :: rest ->
+      fuzz_seed := int_arg "--fuzz-seed" v;
+      parse rest
     | cmd :: rest ->
       cmds := cmd :: !cmds;
       parse rest
@@ -1231,6 +1286,7 @@ let () =
     | "pipeline" -> pipeline ()
     | "durability" -> durability ()
     | "bechamel" -> bechamel ()
+    | "fuzz" -> fuzz_cmd ()
     | "all" ->
       fig1 ();
       fig6a ();
@@ -1271,4 +1327,5 @@ let () =
   output_string oc (J.to_string (J.Obj (List.rev !results)));
   output_string oc "\n";
   close_out oc;
-  pr "\nmachine-readable results written to %s\n" !out_file
+  pr "\nmachine-readable results written to %s\n" !out_file;
+  exit !exit_code

@@ -184,10 +184,16 @@ let range store root ~lo ~hi =
     ~record:(fun _ -> ())
 
 let range_with_proof store root ~lo ~hi =
+  (* each distinct node once, even if the walk reaches it from two places *)
+  let recorded = Hashtbl.create 64 in
   let nodes = ref [] in
   let entries =
     range_visit ~decode_node:decode_cached ~load_bytes:(Object_store.get store) root ~lo ~hi
-      ~record:(fun bytes -> nodes := bytes :: !nodes)
+      ~record:(fun bytes ->
+          if not (Hashtbl.mem recorded bytes) then begin
+            Hashtbl.replace recorded bytes ();
+            nodes := bytes :: !nodes
+          end)
   in
   (entries, { Siri.nodes = List.rev !nodes })
 

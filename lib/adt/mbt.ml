@@ -215,20 +215,26 @@ let range t ~lo ~hi =
   List.sort (fun (a, _) (b, _) -> String.compare a b) entries
 
 (* A complete range proof over an MBT is the entire tree: bucket placement is
-   hash-ordered, so no subtree can be excluded. *)
+   hash-ordered, so no subtree can be excluded. Empty subtrees are shared
+   (one hash reached from many positions), so each distinct node is recorded
+   once — without the dedup the proof ships a copy per occurrence. *)
 let range_with_proof t ~lo ~hi =
+  let recorded = Hash.Table.create 64 in
   let nodes = ref [] in
   let entries = ref [] in
   let rec go h level =
-    let bytes = Object_store.get_exn t.store h in
-    nodes := bytes :: !nodes;
-    match decode_cached h bytes with
-    | Bucket bucket ->
-      List.iter
-        (fun (k, v) ->
-           if String.compare lo k <= 0 && String.compare k hi <= 0 then entries := (k, v) :: !entries)
-        bucket
-    | Inner (l, r) -> if level < t.depth then begin go l (level + 1); go r (level + 1) end
+    if not (Hash.Table.mem recorded h) then begin
+      Hash.Table.replace recorded h ();
+      let bytes = Object_store.get_exn t.store h in
+      nodes := bytes :: !nodes;
+      match decode_cached h bytes with
+      | Bucket bucket ->
+        List.iter
+          (fun (k, v) ->
+             if String.compare lo k <= 0 && String.compare k hi <= 0 then entries := (k, v) :: !entries)
+          bucket
+      | Inner (l, r) -> if level < t.depth then begin go l (level + 1); go r (level + 1) end
+    end
   in
   go t.root 0;
   let entries = List.sort (fun (a, _) (b, _) -> String.compare a b) !entries in

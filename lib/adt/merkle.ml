@@ -277,10 +277,6 @@ let encode_proof hashes =
   write_proof buf hashes;
   W.contents buf
 
-let decode_proof data =
-  let r = W.reader data in
-  let hashes = read_proof r in
-  if not (W.at_end r) then raise (W.Malformed "Merkle.decode_proof: trailing bytes");
-  hashes
+let decode_proof data = W.decode "Merkle.decode_proof" read_proof data
 
 let proof_bytes hashes = String.length (encode_proof hashes)

@@ -309,11 +309,17 @@ let range t ~lo ~hi =
     t.root ~lo ~hi
 
 let range_with_proof t ~lo ~hi =
+  (* each distinct node once, even if the walk reaches it from two places *)
+  let recorded = Hashtbl.create 64 in
   let nodes = ref [] in
   let entries =
     range_generic
       ~load_bytes:(fun h -> Object_store.get t.store h)
-      ~record:(fun bytes -> nodes := bytes :: !nodes)
+      ~record:(fun bytes ->
+          if not (Hashtbl.mem recorded bytes) then begin
+            Hashtbl.replace recorded bytes ();
+            nodes := bytes :: !nodes
+          end)
       t.root ~lo ~hi
   in
   (entries, { Siri.nodes = List.rev !nodes })

@@ -42,12 +42,7 @@ let encode_proof p =
   write_proof buf p;
   Spitz_storage.Wire.contents buf
 
-let decode_proof data =
-  let r = Spitz_storage.Wire.reader data in
-  let p = read_proof r in
-  if not (Spitz_storage.Wire.at_end r) then
-    raise (Spitz_storage.Wire.Malformed "Siri.decode_proof: trailing bytes");
-  p
+let decode_proof data = Spitz_storage.Wire.decode "Siri.decode_proof" read_proof data
 
 let proof_wire_bytes p = String.length (encode_proof p)
 

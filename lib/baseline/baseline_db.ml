@@ -159,6 +159,30 @@ let range_verified t ~lo ~hi =
 (* Client side: the value is committed iff the shadow path proves (key ->
    value) under the current shadow root, and the block that wrote it is in
    the journal. *)
+(* Wire codec for the proof envelope, so baseline proofs can cross an
+   untrusted boundary like Spitz's do. Decoding goes through [Wire.decode]:
+   mutated bytes surface as [Wire.Malformed], never a stray exception. *)
+
+let write_proof buf p =
+  Wire.write_varint buf p.p_height;
+  Block.encode_header buf p.p_header;
+  Spitz_adt.Merkle.write_proof buf p.p_journal;
+  Spitz_adt.Siri.write_proof buf p.p_shadow
+
+let read_proof r =
+  let p_height = Wire.read_varint r in
+  let p_header = Block.decode_header r in
+  let p_journal = Spitz_adt.Merkle.read_proof r in
+  let p_shadow = Spitz_adt.Siri.read_proof r in
+  { p_shadow; p_header; p_height; p_journal }
+
+let encode_proof p =
+  let buf = Wire.writer () in
+  write_proof buf p;
+  Wire.contents buf
+
+let decode_proof data = Wire.decode "Baseline_db.decode_proof" read_proof data
+
 let verify ~digest ~key ~value proof =
   Shadow.verify_get ~digest:digest.shadow_root ~key ~value:(Some value) proof.p_shadow
   && Journal.verify_inclusion ~digest:digest.journal_digest ~height:proof.p_height

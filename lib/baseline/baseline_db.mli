@@ -52,6 +52,12 @@ val get_verified : t -> string -> string option * proof option
 val range_verified : t -> lo:string -> hi:string -> (string * string) list * proof list
 (** One proof per resulting record — the cost Figure 7 measures. *)
 
+val encode_proof : proof -> string
+
+val decode_proof : string -> proof
+(** Raises {!Spitz_storage.Wire.Malformed} on anything but a canonical
+    encoding — truncation, trailing bytes, or corrupted fields. *)
+
 val verify : digest:digest -> key:string -> value:string -> proof -> bool
 val verify_range : digest:digest -> (string * string) list -> proof list -> bool
 

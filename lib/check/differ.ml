@@ -1,0 +1,384 @@
+module K = Spitz_workload.Keygen
+module Db = Spitz.Db
+module Ledger = Spitz_ledger.Ledger
+module Model = Trace.Model
+
+exception Divergence of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Divergence s)) fmt
+
+let opt_str = function None -> "None" | Some v -> Printf.sprintf "Some %S" v
+
+let entries_str entries =
+  "["
+  ^ String.concat "; " (List.map (fun (k, v) -> Printf.sprintf "(%S,%S)" k v) entries)
+  ^ "]"
+
+let writes_of ws =
+  List.map
+    (function
+      | Trace.W (k, v) -> Ledger.Put (Trace.key k, Trace.value k v)
+      | Trace.D k -> Ledger.Delete (Trace.key k))
+    ws
+
+(* Keys worth observing: everything the trace ever touched, plus two indices
+   it never can (absence must be provable too). *)
+let probe_keys (tr : Trace.trace) model =
+  Model.keys_touched model @ [ tr.keyspace; tr.keyspace + 7 ]
+
+let whole_keyspace (tr : Trace.trace) =
+  K.range_bounds ~lo:0 ~hi:(tr.keyspace - 1)
+
+(* --- Spitz vs model --- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "spitz_check" ".db" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let check_spitz (tr : Trace.trace) =
+  with_temp_file @@ fun tmp ->
+  let db = ref (Db.open_db ()) in
+  let model = ref Model.empty in
+  List.iter
+    (fun step ->
+       match step with
+       | Trace.Commit ws ->
+         let height = Db.commit !db (writes_of ws) in
+         model := Model.commit !model ws;
+         if height <> Model.height !model - 1 then
+           fail "commit height %d, expected %d" height (Model.height !model - 1);
+         (* per-commit spot check: the last-written key reads back per model *)
+         (match List.rev ws with
+          | last :: _ ->
+            let k = match last with Trace.W (k, _) | Trace.D k -> k in
+            let got = Db.get !db (Trace.key k) in
+            let expect = Model.get !model k in
+            if got <> expect then
+              fail "after commit %d: get %d = %s, model %s" height k (opt_str got)
+                (opt_str expect)
+          | [] -> ())
+       | Trace.Reopen ->
+         Db.save !db tmp;
+         db := Db.load tmp)
+    tr.steps;
+  let db = !db and model = !model in
+  let digest = Db.digest db in
+  let committed = Model.height model > 0 in
+  if digest.Spitz_ledger.Journal.size <> Model.height model then
+    fail "digest size %d, model height %d" digest.Spitz_ledger.Journal.size (Model.height model);
+  (* point reads, proofs, wire round-trips, wrong-value soundness *)
+  List.iter
+    (fun k ->
+       let key = Trace.key k in
+       let expect = Model.get model k in
+       let got = Db.get db key in
+       if got <> expect then fail "get %d = %s, model %s" k (opt_str got) (opt_str expect);
+       let v, proof = Db.get_verified db key in
+       if v <> expect then fail "get_verified %d = %s, model %s" k (opt_str v) (opt_str expect);
+       match proof with
+       | None -> if committed then fail "no read proof for key %d on a non-empty database" k
+       | Some p ->
+         if not (Db.verify_read ~digest ~key ~value:v p) then
+           fail "read proof for key %d does not verify" k;
+         let p' = Db.L.decode_read_proof (Db.L.encode_read_proof p) in
+         if not (Db.verify_read ~digest ~key ~value:v p') then
+           fail "read proof for key %d does not survive a wire round-trip" k;
+         let wrong = Some (Trace.value k 999_999_999) in
+         if wrong <> v && Db.verify_read ~digest ~key ~value:wrong p then
+           fail "read proof for key %d verified a value never written" k)
+    (probe_keys tr model);
+  (* range scans over the whole keyspace *)
+  let lo, hi = whole_keyspace tr in
+  let expect = Model.entries model in
+  let got = Db.range db ~lo ~hi in
+  if got <> expect then fail "range = %s, model %s" (entries_str got) (entries_str expect);
+  let entries, rproof = Db.range_verified db ~lo ~hi in
+  if entries <> expect then
+    fail "range_verified = %s, model %s" (entries_str entries) (entries_str expect);
+  (match rproof with
+   | None -> if committed then fail "no range proof on a non-empty database"
+   | Some p ->
+     if not (Db.verify_range ~digest ~lo ~hi ~entries p) then fail "range proof does not verify";
+     (match entries with
+      | _ :: rest when Db.verify_range ~digest ~lo ~hi ~entries:rest p ->
+        fail "range proof verified with an entry omitted"
+      | _ -> ()));
+  (* batched reads under one proof *)
+  let keys = List.map Trace.key (probe_keys tr model) in
+  let values, bproof = Db.get_batch_verified db keys in
+  let expected_values = List.map (Model.get model) (probe_keys tr model) in
+  if values <> expected_values then fail "get_batch_verified values diverge from model";
+  (match bproof with
+   | None -> if committed then fail "no batch proof on a non-empty database"
+   | Some p ->
+     let items = List.combine keys values in
+     if not (Db.verify_batch_read ~digest ~items p) then fail "batch proof does not verify";
+     let p' = Db.L.decode_batch_proof (Db.L.encode_batch_proof p) in
+     if not (Db.verify_batch_read ~digest ~items p') then
+       fail "batch proof does not survive a wire round-trip");
+  (* historical reads at every committed height *)
+  for h = 0 to Model.height model - 1 do
+    List.iter
+      (fun k ->
+         let got = Db.get_at db ~height:h (Trace.key k) in
+         let expect = Model.get_at model ~height:h k in
+         if got <> expect then
+           fail "get_at height %d key %d = %s, model %s" h k (opt_str got) (opt_str expect))
+      (Model.keys_touched model)
+  done;
+  (* write receipts of the newest block *)
+  if committed then begin
+    let height = Model.height model - 1 in
+    let receipts = Db.L.write_receipts (Spitz.Auditor.ledger (Db.auditor db)) ~height in
+    if receipts = [] then fail "no write receipts for height %d" height;
+    List.iter
+      (fun r ->
+         if not (Db.verify_write ~digest r) then fail "write receipt does not verify";
+         let r' = Db.L.decode_receipt (Db.L.encode_receipt r) in
+         if not (Db.verify_write ~digest r') then
+           fail "write receipt does not survive a wire round-trip")
+      receipts
+  end;
+  if not (Db.audit db) then fail "chain audit failed"
+
+(* --- all systems vs model --- *)
+
+let check_cross (tr : Trace.trace) =
+  let has_deletes =
+    List.exists
+      (function
+        | Trace.Commit ws -> List.exists (function Trace.D _ -> true | Trace.W _ -> false) ws
+        | Trace.Reopen -> false)
+      tr.steps
+  in
+  let db = Db.open_db () in
+  let kv = Spitz_kvstore.Kv.create () in
+  let combined = Spitz_nonintrusive.Combined.create () in
+  (* the QLDB-like baseline has no delete: it only joins delete-free traces *)
+  let baseline = if has_deletes then None else Some (Spitz_baseline.Baseline_db.create ()) in
+  let model = ref Model.empty in
+  List.iter
+    (function
+      | Trace.Reopen -> () (* persistence is check_spitz's concern *)
+      | Trace.Commit ws ->
+        ignore (Db.commit db (writes_of ws));
+        List.iter
+          (fun w ->
+             match w with
+             | Trace.W (k, v) ->
+               ignore (Spitz_kvstore.Kv.put kv (Trace.key k) (Trace.value k v));
+               Spitz_nonintrusive.Combined.put combined (Trace.key k) (Trace.value k v)
+             | Trace.D k ->
+               ignore (Spitz_kvstore.Kv.delete kv (Trace.key k));
+               Spitz_nonintrusive.Combined.delete combined (Trace.key k))
+          ws;
+        (match baseline with
+         | Some b ->
+           let kvs =
+             List.filter_map
+               (function Trace.W (k, v) -> Some (Trace.key k, Trace.value k v) | Trace.D _ -> None)
+               ws
+           in
+           if kvs <> [] then ignore (Spitz_baseline.Baseline_db.put_batch b kvs)
+         | None -> ());
+        model := Model.commit !model ws)
+    tr.steps;
+  let model = !model in
+  let spitz_digest = Db.digest db in
+  let combined_digest = Spitz_nonintrusive.Combined.digest combined in
+  let baseline_digest = Option.map Spitz_baseline.Baseline_db.digest baseline in
+  List.iter
+    (fun k ->
+       let key = Trace.key k in
+       let expect = Model.get model k in
+       let check name got =
+         if got <> expect then
+           fail "%s: get %d = %s, model %s" name k (opt_str got) (opt_str expect)
+       in
+       check "spitz" (Db.get db key);
+       check "kv" (Spitz_kvstore.Kv.get kv key);
+       check "combined" (Spitz_nonintrusive.Combined.get combined key);
+       (match baseline with
+        | Some b -> check "baseline" (Spitz_baseline.Baseline_db.get b key)
+        | None -> ());
+       (* each system's proof verifies under its own digest *)
+       let v, proof = Spitz_nonintrusive.Combined.get_verified combined key in
+       if v <> expect then fail "combined: get_verified %d diverges" k;
+       (match proof with
+        | Some p ->
+          if not (Spitz_nonintrusive.Combined.verify_read ~digest:combined_digest ~key ~value:v p)
+          then fail "combined: read proof for key %d does not verify" k
+        | None -> if Model.height model > 0 then fail "combined: no proof for key %d" k);
+       match (baseline, baseline_digest, expect) with
+       | Some b, Some digest, Some value ->
+         (match Spitz_baseline.Baseline_db.prove b key with
+          | Some p ->
+            if not (Spitz_baseline.Baseline_db.verify ~digest ~key ~value p) then
+              fail "baseline: proof for key %d does not verify" k;
+            let p' =
+              Spitz_baseline.Baseline_db.decode_proof (Spitz_baseline.Baseline_db.encode_proof p)
+            in
+            if not (Spitz_baseline.Baseline_db.verify ~digest ~key ~value p') then
+              fail "baseline: proof for key %d does not survive a wire round-trip" k
+          | None -> fail "baseline: no proof for present key %d" k)
+       | _ -> ())
+    (probe_keys tr model);
+  let lo, hi = whole_keyspace tr in
+  let expect = Model.entries model in
+  let check name got =
+    if got <> expect then
+      fail "%s: range = %s, model %s" name (entries_str got) (entries_str expect)
+  in
+  check "spitz" (Db.range db ~lo ~hi);
+  check "kv" (Spitz_kvstore.Kv.range kv ~lo ~hi);
+  check "combined" (Spitz_nonintrusive.Combined.range combined ~lo ~hi);
+  (match baseline with
+   | Some b -> check "baseline" (Spitz_baseline.Baseline_db.range b ~lo ~hi)
+   | None -> ());
+  if Spitz_kvstore.Kv.cardinal kv <> List.length expect then
+    fail "kv: cardinal %d, model %d" (Spitz_kvstore.Kv.cardinal kv) (List.length expect);
+  ignore spitz_digest
+
+(* --- every SIRI implementation vs model (insert-only view) --- *)
+
+let siri_impls : (module Spitz_adt.Siri.S) list =
+  [
+    (module Spitz_adt.Merkle_bptree);
+    (module Spitz_adt.Pos_tree);
+    (module Spitz_adt.Mpt);
+    (module Spitz_adt.Mbt);
+  ]
+
+let check_one_siri (module S : Spitz_adt.Siri.S) (tr : Trace.trace) =
+  let store = Spitz_storage.Object_store.create () in
+  let t = ref (S.create store) in
+  let model = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Trace.Reopen -> ()
+      | Trace.Commit ws ->
+        List.iter
+          (function
+            | Trace.W (k, v) ->
+              t := S.insert !t (Trace.key k) (Trace.value k v);
+              Hashtbl.replace model k (Trace.value k v)
+            | Trace.D _ -> () (* raw SIRI indexes carry no tombstones *))
+          ws)
+    tr.steps;
+  let t = !t in
+  let digest = S.root_digest t in
+  let keys = probe_keys tr (Trace.apply_model tr) in
+  let items =
+    List.map
+      (fun k ->
+         let key = Trace.key k in
+         let expect = Hashtbl.find_opt model k in
+         let got = S.get t key in
+         if got <> expect then
+           fail "%s: get %d = %s, model %s" S.name k (opt_str got) (opt_str expect);
+         let v, proof = S.get_with_proof t key in
+         if v <> expect then fail "%s: get_with_proof %d diverges" S.name k;
+         if not (S.verify_get ~digest ~key ~value:v proof) then
+           fail "%s: proof for key %d does not verify" S.name k;
+         let wrong = Some (Trace.value k 999_999_999) in
+         if wrong <> v && S.verify_get ~digest ~key ~value:wrong proof then
+           fail "%s: proof for key %d verified a value never written" S.name k;
+         (key, v))
+      keys
+  in
+  (* one batched proof covers every probe *)
+  let values, bproof = S.prove_batch t (List.map fst items) in
+  if values <> List.map snd items then fail "%s: prove_batch values diverge" S.name;
+  if not (S.verify_get_batch ~digest ~items bproof) then
+    fail "%s: batched proof does not verify" S.name;
+  (* full-keyspace range with proof *)
+  let lo, hi = whole_keyspace tr in
+  let expect_entries =
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (Trace.key k, v) :: acc) model [])
+  in
+  let entries, rproof = S.range_with_proof t ~lo ~hi in
+  if entries <> expect_entries then
+    fail "%s: range = %s, model %s" S.name (entries_str entries) (entries_str expect_entries);
+  if not (S.verify_range ~digest ~lo ~hi ~entries rproof) then
+    fail "%s: range proof does not verify" S.name;
+  (* reopening from the root digest reproduces the same index *)
+  if Hashtbl.length model > 0 then begin
+    let reopened = S.at_root store digest ~count:(S.cardinal t) in
+    if not (Spitz_crypto.Hash.equal (S.root_digest reopened) digest) then
+      fail "%s: at_root changes the digest" S.name;
+    List.iter
+      (fun (key, v) ->
+         if S.get reopened key <> v then fail "%s: at_root loses key %S" S.name key)
+      items
+  end
+
+(* MBT under a forced bucket count — tiny shapes maximize collisions. *)
+let mbt_sized buckets : (module Spitz_adt.Siri.S) =
+  (module struct
+    include Spitz_adt.Mbt
+
+    let name = Printf.sprintf "mbt[%d]" buckets
+    let create store = Spitz_adt.Mbt.create_sized ~buckets store
+  end)
+
+let check_siri (tr : Trace.trace) =
+  List.iter (fun impl -> check_one_siri impl tr) siri_impls;
+  List.iter (fun buckets -> check_one_siri (mbt_sized buckets) tr) [ 2; 4; 64 ]
+
+(* --- digest invariance --- *)
+
+(* One small pool shared by every property run: domain spawn is far too
+   expensive per test case. *)
+let shared_pool = lazy (Spitz_exec.Pool.create 3)
+
+let shutdown_pool () =
+  if Lazy.is_val shared_pool then Spitz_exec.Pool.shutdown (Lazy.force shared_pool)
+
+let replay_digest ?pool (tr : Trace.trace) =
+  let db = Db.open_db ?pool () in
+  List.iter
+    (function
+      | Trace.Reopen -> ()
+      | Trace.Commit ws -> ignore (Db.commit db (writes_of ws)))
+    tr.steps;
+  Db.digest db
+
+let check_pool_invariance (tr : Trace.trace) =
+  let sequential = replay_digest tr in
+  let pooled = replay_digest ~pool:(Lazy.force shared_pool) tr in
+  if sequential <> pooled then
+    fail "digest differs under a pool: sequential %s/%d, pooled %s/%d"
+      (Spitz_crypto.Hash.to_hex sequential.Spitz_ledger.Journal.root)
+      sequential.Spitz_ledger.Journal.size
+      (Spitz_crypto.Hash.to_hex pooled.Spitz_ledger.Journal.root)
+      pooled.Spitz_ledger.Journal.size
+
+let check_digest_stability (tr : Trace.trace) =
+  with_temp_file @@ fun tmp ->
+  let first = replay_digest tr in
+  let second = replay_digest tr in
+  if first <> second then fail "same trace, two different digests";
+  (* a save/load round-trip preserves the digest *)
+  let db = Db.open_db () in
+  let prefix_digests =
+    List.filter_map
+      (function
+        | Trace.Reopen -> None
+        | Trace.Commit ws ->
+          ignore (Db.commit db (writes_of ws));
+          Some (Db.digest db))
+      tr.steps
+  in
+  Db.save db tmp;
+  let reloaded = Db.load tmp in
+  if Db.digest reloaded <> first then fail "digest changed across save/load";
+  (* every prefix digest is consistently extended by the final one *)
+  List.iter
+    (fun old_digest ->
+       let proof = Db.consistency db ~old_size:old_digest.Spitz_ledger.Journal.size in
+       if not (Spitz_ledger.Journal.verify_consistency ~old_digest ~new_digest:first proof)
+       then
+         fail "consistency proof from size %d does not verify"
+           old_digest.Spitz_ledger.Journal.size)
+    prefix_digests

@@ -1,0 +1,48 @@
+(** Model-based differential driver.
+
+    Each check replays one random {!Trace.trace} against real systems and a
+    pure Map-backed reference model, asserting observable equivalence at
+    every commit and a battery of end-state invariants. Divergence raises
+    {!Divergence} with a description of exactly which observation differed —
+    {!Quick} folds the message into the failure report next to the replay
+    seed. *)
+
+exception Divergence of string
+
+val check_spitz : Trace.trace -> unit
+(** Spitz {!Spitz.Db} vs the model: point reads, range scans, historical
+    reads at every committed height, proof verification for every read
+    (present {e and} absent keys), batched reads under one proof, write
+    receipts, wire round-trips of the proof envelopes, chain audit. [Reopen]
+    steps save/load the database through a temp file and assert state
+    survives. *)
+
+val check_cross : Trace.trace -> unit
+(** The same trace through all comparison systems at once — Spitz, the
+    immutable KV store, the non-intrusive combined design, and (on
+    delete-free traces) the QLDB-like baseline — asserting every system
+    agrees with the model on point reads and range scans, and that each
+    system's own proofs verify under its own digest. *)
+
+val check_siri : Trace.trace -> unit
+(** The trace's insertions through every SIRI implementation — Merkle
+    B+-tree, POS-tree, MPT, MBT (several bucket shapes) — asserting: all
+    implementations agree with the model; proofs (point, batch, range)
+    verify; reopening each index from its root digest ({!Spitz_adt.Siri.S.at_root})
+    reproduces the same digest and contents; and a spot-check that proofs for
+    one index {e never} verify claims for a different value. *)
+
+val check_pool_invariance : Trace.trace -> unit
+(** Replaying the trace with a domain pool yields a digest bit-identical to
+    the sequential replay — commit parallelism must not leak into
+    commitments. Uses a small shared pool, created lazily on first use. *)
+
+val check_digest_stability : Trace.trace -> unit
+(** The digest is a pure function of the committed history: replaying the
+    same trace twice — and through a save/load round-trip — yields identical
+    digests, and every prefix digest is extended consistently (journal
+    consistency proofs verify). *)
+
+val shutdown_pool : unit -> unit
+(** Join the shared pool's domains (for clean test-process exit). Safe to
+    call when the pool was never created. *)

@@ -1,0 +1,82 @@
+(** Adversarial proof fuzzer.
+
+    Every encoded artifact a verifier accepts over the wire — read proofs,
+    batched proofs, write receipts, range proofs, raw SIRI proofs, journal
+    inclusion proofs, block bodies, IPC requests — is structurally mutated
+    and fed back to its decoder and verifier. The contract under test:
+
+    - a mutant is {e rejected at decode} ({!Spitz_storage.Wire.Malformed}), or
+    - it decodes but {e fails verification}, or
+    - it is {e benign}: decodes, verifies, and is semantically identical to
+      the honest artifact once advisory fields (the embedded digest copies,
+      which verifiers ignore in favor of the caller's pinned digest) are
+      normalized away.
+
+    Anything else is a bug: {e accepted} means a semantically different
+    artifact verified (soundness violation); {e foreign} means a decoder or
+    verifier leaked an exception other than [Malformed] (robustness
+    violation — a remote peer can crash the process).
+
+    Durable-store fuzzing applies the same discipline to files: a mutated
+    WAL / snapshot / meta file must either recover ([open_durable] succeeds
+    and the recovered chain passes a full audit) or raise
+    {!Spitz.Db.Corrupt} — never any other exception. *)
+
+type outcome =
+  | Rejected_decode
+  | Rejected_verify
+  | Benign
+  | Accepted of string  (** soundness violation — detail for the report *)
+  | Foreign of string   (** exception-safety violation *)
+
+type report = {
+  total : int;
+  rejected_decode : int;
+  rejected_verify : int;
+  benign : int;
+  accepted : (string * string) list;  (** (target name, detail) *)
+  foreign : (string * string) list;
+}
+
+val empty_report : report
+val merge : report -> report -> report
+val ok : report -> bool
+(** No accepted mutants, no foreign exceptions. *)
+
+val pp_report : report -> string
+
+type target = {
+  tname : string;
+  encoded : string;              (** the honest canonical encoding *)
+  classify : string -> outcome;  (** total: never raises *)
+}
+
+val fuzz_target : Spitz_workload.Keygen.rng -> mutants:int -> target -> report
+
+val proof_targets : seed:int -> target list
+(** Proof/receipt/envelope targets over {e all four} SIRI index
+    implementations (the ledger functor instantiated per index), the
+    baseline system's proof, block bodies, and IPC requests — state built
+    deterministically from [seed]. *)
+
+val fuzz_proofs : ?mutants_per_target:int -> seed:int -> unit -> report
+(** Mutate every {!proof_targets} entry [mutants_per_target] times
+    (default 320 — with the ~32 targets and the default {!fuzz_wal} budget,
+    one {!fuzz_all} round clears 10k mutants). *)
+
+val fuzz_wal : ?cases:int -> seed:int -> unit -> report
+(** Durable-directory fuzzing: build a small durable database, then [cases]
+    (default 200) times copy it, mutate one of its files (wal / snapshot /
+    meta), and reopen — asserting recover-or-[Corrupt], with a full chain
+    audit on recovery. Also raw {!Spitz_storage.Wal.replay} framing fuzz. *)
+
+val fuzz_all : ?mutants_per_target:int -> ?wal_cases:int -> seed:int -> unit -> report
+
+val run_deadline :
+  deadline:float -> seed:int -> (round:int -> seed:int -> report -> unit) -> report
+(** Open-ended loop for the nightly budget: repeat {!fuzz_all} rounds with
+    per-round seeds derived from [seed] until [deadline] (wall-clock
+    seconds) elapses, calling the callback after each round with that
+    round's seed and the cumulative report — log the seed, and any failure
+    replays with [fuzz_all ~seed:<that seed> ()]. Stops early if a round is
+    not {!ok}. *)

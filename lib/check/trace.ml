@@ -1,0 +1,121 @@
+module K = Spitz_workload.Keygen
+
+type write = W of int * int | D of int
+
+type step = Commit of write list | Reopen
+
+type trace = { keyspace : int; steps : step list }
+
+let key = K.key_of
+let value k v = K.value_of ~version:v (key k)
+
+let commits t =
+  List.fold_left (fun n -> function Commit _ -> n + 1 | Reopen -> n) 0 t.steps
+
+type cfg = {
+  keyspace : int;
+  max_steps : int;
+  max_batch : int;
+  delete_prob : float;
+  reopen_prob : float;
+  dist : K.distribution;
+}
+
+let default_cfg =
+  {
+    keyspace = 24;
+    max_steps = 12;
+    max_batch = 6;
+    delete_prob = 0.2;
+    reopen_prob = 0.15;
+    dist = K.Uniform;
+  }
+
+(* Version numbers tick per generated write, so every write of the same key
+   carries a distinct value — overwrite bugs cannot hide behind identical
+   values. *)
+let gen ?(cfg = default_cfg) rng =
+  let version = ref 0 in
+  let gen_write () =
+    incr version;
+    let k = K.pick rng cfg.dist cfg.keyspace in
+    if K.float rng < cfg.delete_prob then D k else W (k, !version)
+  in
+  let gen_step () =
+    if K.float rng < cfg.reopen_prob then Reopen
+    else Commit (List.init (1 + K.int rng cfg.max_batch) (fun _ -> gen_write ()))
+  in
+  let nsteps = 1 + K.int rng cfg.max_steps in
+  { keyspace = cfg.keyspace; steps = List.init nsteps (fun _ -> gen_step ()) }
+
+let shrink_step = function
+  | Reopen -> []
+  | Commit ws ->
+    (* a commit never shrinks to an empty batch; drop the whole step instead *)
+    List.filter_map
+      (function [] -> None | ws' -> Some (Commit ws'))
+      (Quick.shrink_list (fun _ -> []) ws)
+
+let shrink t =
+  List.map (fun steps -> { t with steps }) (Quick.shrink_list shrink_step t.steps)
+
+let print_write = function
+  | W (k, v) -> Printf.sprintf "W(%d,%d)" k v
+  | D k -> Printf.sprintf "D(%d)" k
+
+let print_step = function
+  | Reopen -> "Reopen"
+  | Commit ws -> "Commit[" ^ String.concat "; " (List.map print_write ws) ^ "]"
+
+let print (t : trace) =
+  Printf.sprintf "{keyspace=%d; steps=[%s]}" t.keyspace
+    (String.concat ";\n        " (List.map print_step t.steps))
+
+let arb ?cfg () = Quick.make ~shrink ~print (gen ?cfg)
+
+module Imap = Map.Make (Int)
+
+module Model = struct
+  type t = {
+    current : string Imap.t;        (* key index -> live value *)
+    snapshots : string Imap.t list; (* post-state of each commit, newest first *)
+    touched : unit Imap.t;
+  }
+
+  let empty = { current = Imap.empty; snapshots = []; touched = Imap.empty }
+
+  let commit t ws =
+    let current, touched =
+      List.fold_left
+        (fun (m, touched) w ->
+           match w with
+           | W (k, v) -> (Imap.add k (value k v) m, Imap.add k () touched)
+           | D k -> (Imap.remove k m, Imap.add k () touched))
+        (t.current, t.touched) ws
+    in
+    { current; snapshots = current :: t.snapshots; touched }
+
+  let get t k = Imap.find_opt k t.current
+
+  let height t = List.length t.snapshots
+
+  let get_at t ~height k =
+    let n = List.length t.snapshots in
+    if height < 0 || height >= n then None
+    else Imap.find_opt k (List.nth t.snapshots (n - 1 - height))
+
+  let entries t =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (List.map (fun (k, v) -> (key k, v)) (Imap.bindings t.current))
+
+  let entries_between t ~lo ~hi =
+    List.filter (fun (k, _) -> lo <= k && k <= hi) (entries t)
+
+  let keys_touched t = List.map fst (Imap.bindings t.touched)
+end
+
+let apply_model t =
+  List.fold_left
+    (fun m -> function Commit ws -> Model.commit m ws | Reopen -> m)
+    Model.empty t.steps

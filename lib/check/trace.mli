@@ -1,0 +1,68 @@
+(** Random operation traces and the pure reference model they replay against.
+
+    A trace speaks in key {e indices} into a bounded keyspace, not raw
+    strings: [Spitz_workload.Keygen.key_of] maps indices to the paper's 5-12
+    byte keys, and [value_of ~version] makes values deterministic in
+    (key, version) — so a printed trace is short, and shrunk traces stay
+    meaningful. *)
+
+type write =
+  | W of int * int  (** [W (k, v)]: put key index [k] at value version [v] *)
+  | D of int        (** delete key index [k] *)
+
+type step =
+  | Commit of write list  (** one batch, one ledger block *)
+  | Reopen                (** persistence round-trip: save + load, or checkpoint *)
+
+type trace = { keyspace : int; steps : step list }
+
+val key : int -> string
+val value : int -> int -> string
+(** [value k v] is the value [W (k, v)] writes. *)
+
+val commits : trace -> int
+
+type cfg = {
+  keyspace : int;          (** distinct key indices *)
+  max_steps : int;
+  max_batch : int;         (** writes per commit *)
+  delete_prob : float;     (** probability a write is a delete *)
+  reopen_prob : float;     (** probability a step is a [Reopen] *)
+  dist : Spitz_workload.Keygen.distribution;  (** key-index selection *)
+}
+
+val default_cfg : cfg
+(** 24 keys, up to 12 steps of up to 6 writes, some deletes, some reopens,
+    uniform keys — small enough to shrink well, rich enough to collide. *)
+
+val gen : ?cfg:cfg -> Spitz_workload.Keygen.rng -> trace
+val shrink : trace -> trace list
+val print : trace -> string
+val arb : ?cfg:cfg -> unit -> trace Quick.arb
+
+(** The reference model: a pure map, plus the post-state of every commit so
+    historical reads can be checked. Heights count commits only — [Reopen]
+    must not change observable state, which is exactly what the differential
+    driver asserts. *)
+module Model : sig
+  type t
+
+  val empty : t
+  val commit : t -> write list -> t
+  val get : t -> int -> string option
+  val get_at : t -> height:int -> int -> string option
+  (** State as of commit [height] (0-based); [None] if absent there. *)
+
+  val entries : t -> (string * string) list
+  (** Live (key, value) pairs in key order — what a full range scan returns. *)
+
+  val entries_between : t -> lo:string -> hi:string -> (string * string) list
+  val height : t -> int
+  (** Commits applied. *)
+
+  val keys_touched : t -> int list
+  (** Every key index ever written or deleted, ascending. *)
+end
+
+val apply_model : trace -> Model.t
+(** Fold the whole trace ([Reopen] is a no-op on the model). *)

@@ -33,6 +33,16 @@ let write_cell t ~column ~pk ?ts value =
   Spitz_index.Bptree.insert t.index (Universal_key.encode ukey) addr;
   ukey
 
+(* A delete is one more immutable cell version: a tombstone whose value
+   address is [Hash.null]. Read paths below treat it as absence, so older
+   versions stay reachable by timestamp while the latest state drops the
+   cell. *)
+let delete_cell t ~column ~pk ?ts () =
+  let ts = match ts with Some ts -> ts | None -> tick t in
+  let ukey = Universal_key.make ~column ~pk ~ts ~vhash:Hash.null in
+  Spitz_index.Bptree.insert t.index (Universal_key.encode ukey) Hash.null;
+  ukey
+
 (* Newest cell version at or below [ts] ([max_int] = latest). *)
 let read_cell ?(ts = max_int) t ~column ~pk =
   let lo, hi = Universal_key.cell_bounds ~column ~pk in
@@ -44,9 +54,10 @@ let read_cell ?(ts = max_int) t ~column ~pk =
          | _ -> acc)
       None
   in
-  Option.map
-    (fun (uk, vhash) -> (uk, Object_store.get_blob_exn t.store vhash))
-    best
+  match best with
+  | Some (uk, vhash) when not (Hash.is_null vhash) ->
+    Some (uk, Object_store.get_blob_exn t.store vhash)
+  | _ -> None
 
 (* Hot path for point reads: the prefix scan is in timestamp order, so the
    newest qualifying version is the last one visited; no key decoding. *)
@@ -64,7 +75,9 @@ let read_value ?ts t ~column ~pk =
            if Universal_key.ts_of_encoded ~prefix_len ekey <= bound then Some vhash else acc)
         None
   in
-  Option.map (Object_store.get_blob_exn t.store) best
+  match best with
+  | Some vhash when not (Hash.is_null vhash) -> Some (Object_store.get_blob_exn t.store vhash)
+  | _ -> None
 
 (* Every version of one cell, oldest first. *)
 let versions t ~column ~pk =
@@ -73,8 +86,9 @@ let versions t ~column ~pk =
     (Spitz_index.Bptree.fold_range t.index ~lo ~hi
        (fun ekey vhash acc ->
           match Universal_key.decode ekey with
-          | Some uk -> (uk, Object_store.get_blob_exn t.store vhash) :: acc
-          | None -> acc)
+          | Some uk when not (Hash.is_null vhash) ->
+            (uk, Object_store.get_blob_exn t.store vhash) :: acc
+          | _ -> acc)
        [])
 
 (* Latest version of each cell of [column] with pk in [pk_lo, pk_hi]. *)
@@ -92,7 +106,11 @@ let range_latest t ~column ~pk_lo ~pk_hi =
           | _ -> out := (uk, vhash) :: !out)
        | None -> ())
     ();
-  List.rev_map (fun (uk, vhash) -> (uk, Object_store.get_blob_exn t.store vhash)) !out
+  List.filter_map
+    (fun (uk, vhash) ->
+       if Hash.is_null vhash then None
+       else Some (uk, Object_store.get_blob_exn t.store vhash))
+    (List.rev !out)
 
 (* Hot path for range scans: pk extracted positionally, last version of each
    pk wins, values fetched once per pk. *)
@@ -108,7 +126,11 @@ let range_latest_values t ~column ~pk_lo ~pk_hi =
        | (prev, _) :: rest when String.equal prev pk -> out := (pk, vhash) :: rest
        | _ -> out := (pk, vhash) :: !out)
     ();
-  List.rev_map (fun (pk, vhash) -> (pk, Object_store.get_blob_exn t.store vhash)) !out
+  List.filter_map
+    (fun (pk, vhash) ->
+       if Hash.is_null vhash then None
+       else Some (pk, Object_store.get_blob_exn t.store vhash))
+    (List.rev !out)
 
 let cell_count t = Spitz_index.Bptree.cardinal t.index
 

@@ -18,8 +18,13 @@ val write_cell : t -> column:string -> pk:string -> ?ts:int -> string -> Univers
 (** Append one immutable cell version; the value is content-addressed into
     the object store. *)
 
+val delete_cell : t -> column:string -> pk:string -> ?ts:int -> unit -> Universal_key.t
+(** Append a tombstone version: the cell reads as absent from this timestamp
+    on, while older versions stay reachable by [ts]. *)
+
 val read_cell : ?ts:int -> t -> column:string -> pk:string -> (Universal_key.t * string) option
-(** Newest version at or below [ts] (default: latest), with its key. *)
+(** Newest version at or below [ts] (default: latest), with its key. Absent
+    includes "newest version is a tombstone". *)
 
 val read_value : ?ts:int -> t -> column:string -> pk:string -> string option
 (** Hot path: like {!read_cell} but without decoding the universal key. *)

@@ -43,6 +43,25 @@ let cell_count t = Cell_store.cell_count t.cells
 
 (* --- Writes --- *)
 
+(* One block is one state transition: when a batch writes the same key more
+   than once, the block's final state for that key is the last write (the
+   ledger index folds the batch in order). Only that write may land in the
+   cell store — the universal-key encoding orders same-timestamp versions by
+   value hash, not write order, so asking it to break the tie reads back an
+   arbitrary write of the batch. *)
+let last_write_per_key writes =
+  let seen = Hashtbl.create 16 in
+  List.rev
+    (List.fold_left
+       (fun acc w ->
+          let key = match w with Ledger.Put (k, _) | Ledger.Delete k -> k in
+          if Hashtbl.mem seen key then acc
+          else begin
+            Hashtbl.add seen key ();
+            w :: acc
+          end)
+       [] (List.rev writes))
+
 let apply_cells t height writes =
   List.iter
     (fun w ->
@@ -54,16 +73,23 @@ let apply_cells t height writes =
           | Some inv ->
             Spitz_index.Inverted.add inv (Spitz_index.Inverted.Str value)
               (Universal_key.encode ukey))
-       | Ledger.Delete _ -> ())
-    writes
+       | Ledger.Delete key -> ignore (Cell_store.delete_cell t.cells ~column:t.column ~pk:key ~ts:height ()))
+    (last_write_per_key writes)
 
-let put_batch t ?statements kvs =
-  let writes = List.map (fun (k, v) -> Ledger.Put (k, v)) kvs in
+(* The general write path: one batch of puts and deletes, one ledger block.
+   Deletes land as tombstones in both the ledger index and the cell store,
+   so the verifiable surface and the query surface agree on absence. *)
+let commit t ?statements writes =
   let height = Auditor.record t.auditor ?statements writes in
   apply_cells t height writes;
   height
 
+let put_batch t ?statements kvs =
+  commit t ?statements (List.map (fun (k, v) -> Ledger.Put (k, v)) kvs)
+
 let put t key value = put_batch t [ (key, value) ]
+
+let delete t key = commit t [ Ledger.Delete key ]
 
 let put_verified t key value =
   let height = put t key value in
@@ -191,12 +217,35 @@ let rebuild ?pool ~store ~column ~with_inverted bodies =
     }
   in
   let journal = L.journal ledger in
+  (* replay mirrors the live write path: only the last write of a key within
+     a block is that block's state transition for it *)
+  let last_entry_per_key entries =
+    let seen = Hashtbl.create 16 in
+    List.rev
+      (List.fold_left
+         (fun acc (e : Spitz_ledger.Block.entry) ->
+            if Hashtbl.mem seen e.Spitz_ledger.Block.key then acc
+            else begin
+              Hashtbl.add seen e.Spitz_ledger.Block.key ();
+              e :: acc
+            end)
+         [] (List.rev entries))
+  in
   for height = 0 to Spitz_ledger.Journal.length journal - 1 do
     let block = Spitz_ledger.Journal.block journal height in
     List.iter
       (fun (e : Spitz_ledger.Block.entry) ->
+         (* schema-layer keys carry their column; KV keys use the
+            database's default column *)
+         let split_column key =
+           match String.index_opt key '\x1f' with
+           | Some i -> (String.sub key 0 i, String.sub key (i + 1) (String.length key - i - 1))
+           | None -> (t.column, key)
+         in
          match e.Spitz_ledger.Block.op with
-         | Spitz_ledger.Block.Delete -> ()
+         | Spitz_ledger.Block.Delete ->
+           let column, pk = split_column e.Spitz_ledger.Block.key in
+           ignore (Cell_store.delete_cell t.cells ~column ~pk ~ts:height ())
          | Spitz_ledger.Block.Insert | Spitz_ledger.Block.Update ->
            let value =
              (* normally from the index instance of that block; if that
@@ -210,23 +259,14 @@ let rebuild ?pool ~store ~column ~with_inverted bodies =
            (match value with
             | None -> ()
             | Some value ->
-              (* schema-layer keys carry their column; KV keys use the
-                 database's default column *)
-              let column, pk =
-                match String.index_opt e.Spitz_ledger.Block.key '\x1f' with
-                | Some i ->
-                  ( String.sub e.Spitz_ledger.Block.key 0 i,
-                    String.sub e.Spitz_ledger.Block.key (i + 1)
-                      (String.length e.Spitz_ledger.Block.key - i - 1) )
-                | None -> (t.column, e.Spitz_ledger.Block.key)
-              in
+              let column, pk = split_column e.Spitz_ledger.Block.key in
               let ukey = Cell_store.write_cell t.cells ~column ~pk ~ts:height value in
               (match t.inverted with
                | Some inv when String.equal column t.column ->
                  Spitz_index.Inverted.add inv (Spitz_index.Inverted.Str value)
                    (Universal_key.encode ukey)
                | _ -> ())))
-      block.Spitz_ledger.Block.entries
+      (last_entry_per_key block.Spitz_ledger.Block.entries)
   done;
   t
 

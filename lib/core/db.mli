@@ -39,9 +39,20 @@ val cell_count : t -> int
 
 (** {1 Writes} *)
 
+val commit : t -> ?statements:string list -> Ledger.write list -> int
+(** The general write path: one batch of puts and deletes as one ledger
+    block. Deletes land as tombstones in both the ledger index and the cell
+    store, so the verifiable surface and the query surface agree on
+    absence. *)
+
 val put : t -> string -> string -> int
 (** Write one key; commits one ledger block and returns its height. Updates
     append versions — nothing is overwritten. *)
+
+val delete : t -> string -> int
+(** Delete one key (one ledger block). Reads return [None], range scans skip
+    it, and the ledger proves the absence; older versions stay readable
+    through {!get_at} and {!history}. *)
 
 val put_batch : t -> ?statements:string list -> (string * string) list -> int
 (** Commit many writes as one ledger block (one transaction). [statements]

@@ -8,6 +8,9 @@ open Spitz_storage
    ledger and no verifiability: the comparison point that isolates the cost
    of the ledger. *)
 
+(* A delete is an append too: a tombstone version whose value address is
+   [Hash.null]. The chain keeps the full version history either way. *)
+
 type versions = {
   mutable chain : (int * Hash.t) list; (* (version, value address), newest first *)
 }
@@ -16,27 +19,47 @@ type t = {
   store : Object_store.t;
   index : versions Spitz_index.Bptree.t;
   mutable clock : int;
+  mutable live : int; (* keys whose newest version is not a tombstone *)
 }
 
 let create ?store () =
   let store = match store with Some s -> s | None -> Object_store.create () in
-  { store; index = Spitz_index.Bptree.create (); clock = 0 }
+  { store; index = Spitz_index.Bptree.create (); clock = 0; live = 0 }
 
 let store t = t.store
 
-let cardinal t = Spitz_index.Bptree.cardinal t.index
+let cardinal t = t.live
+
+let tombstoned = function
+  | { chain = (_, h) :: _ } -> Hash.is_null h
+  | _ -> true
 
 let put t key value =
   t.clock <- t.clock + 1;
   let h = Object_store.put_blob t.store value in
   (match Spitz_index.Bptree.get t.index key with
-   | Some v -> v.chain <- (t.clock, h) :: v.chain
-   | None -> Spitz_index.Bptree.insert t.index key { chain = [ (t.clock, h) ] });
+   | Some v ->
+     if tombstoned v then t.live <- t.live + 1;
+     v.chain <- (t.clock, h) :: v.chain
+   | None ->
+     t.live <- t.live + 1;
+     Spitz_index.Bptree.insert t.index key { chain = [ (t.clock, h) ] });
   t.clock
+
+let delete t key =
+  match Spitz_index.Bptree.get t.index key with
+  | Some v when not (tombstoned v) ->
+    t.clock <- t.clock + 1;
+    v.chain <- (t.clock, Hash.null) :: v.chain;
+    t.live <- t.live - 1;
+    true
+  | _ -> false
+
+let blob_of t h = if Hash.is_null h then None else Object_store.get_blob t.store h
 
 let get t key =
   match Spitz_index.Bptree.get t.index key with
-  | Some { chain = (_, h) :: _ } -> Object_store.get_blob t.store h
+  | Some { chain = (_, h) :: _ } -> blob_of t h
   | _ -> None
 
 let get_version t key ~version =
@@ -45,7 +68,7 @@ let get_version t key ~version =
   | Some { chain } ->
     let rec find = function
       | [] -> None
-      | (v, h) :: rest -> if v <= version then Object_store.get_blob t.store h else find rest
+      | (v, h) :: rest -> if v <= version then blob_of t h else find rest
     in
     find chain
 
@@ -53,21 +76,24 @@ let history t key =
   match Spitz_index.Bptree.get t.index key with
   | None -> []
   | Some { chain } ->
-    List.rev_map
-      (fun (v, h) -> (v, Object_store.get_blob_exn t.store h))
-      chain
+    List.fold_left
+      (fun acc (v, h) ->
+         if Hash.is_null h then acc
+         else (v, Object_store.get_blob_exn t.store h) :: acc)
+      [] chain
 
 let range t ~lo ~hi =
   List.rev
     (Spitz_index.Bptree.fold_range t.index ~lo ~hi
        (fun key versions acc ->
           match versions.chain with
-          | (_, h) :: _ -> (key, Object_store.get_blob_exn t.store h) :: acc
-          | [] -> acc)
+          | (_, h) :: _ when not (Hash.is_null h) ->
+            (key, Object_store.get_blob_exn t.store h) :: acc
+          | _ -> acc)
        [])
 
 let iter t f =
   Spitz_index.Bptree.iter t.index (fun key versions ->
       match versions.chain with
-      | (_, h) :: _ -> f key (Object_store.get_blob_exn t.store h)
-      | [] -> ())
+      | (_, h) :: _ when not (Hash.is_null h) -> f key (Object_store.get_blob_exn t.store h)
+      | _ -> ())

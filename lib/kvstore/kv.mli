@@ -17,8 +17,13 @@ val cardinal : t -> int
 val put : t -> string -> string -> int
 (** Append a new version; returns its version number (a store-local clock). *)
 
+val delete : t -> string -> bool
+(** Append a tombstone version; older versions stay readable through
+    {!get_version}. Returns [false] (and changes nothing) if the key is
+    already absent. *)
+
 val get : t -> string -> string option
-(** Latest version. *)
+(** Latest version; [None] if absent or deleted. *)
 
 val get_version : t -> string -> version:int -> string option
 (** The value as of [version] (the newest version at or below it). *)

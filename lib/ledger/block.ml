@@ -103,11 +103,13 @@ let encode t =
   Wire.contents buf
 
 let decode data =
-  let r = Wire.reader data in
-  let header = decode_header r in
-  let entries = Wire.read_list r decode_entry in
-  let statements = Wire.read_list r Wire.read_string in
-  { header; entries; statements }
+  Wire.decode "Block.decode"
+    (fun r ->
+       let header = decode_header r in
+       let entries = Wire.read_list r decode_entry in
+       let statements = Wire.read_list r Wire.read_string in
+       { header; entries; statements })
+    data
 
 let create_rooted ~entries_root ~height ~prev_hash ~index_root ~time ~entries ~statements =
   { header = { height; prev_hash; entries_root; index_root; entry_count = List.length entries; time };

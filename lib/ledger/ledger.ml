@@ -416,11 +416,10 @@ module Make (Index : Siri.S) = struct
     write buf v;
     Wire.contents buf
 
-  let decode_with name read data =
-    let r = Wire.reader data in
-    let v = read r in
-    if not (Wire.at_end r) then raise (Wire.Malformed (name ^ ": trailing bytes"));
-    v
+  (* [Wire.decode] requires full consumption and funnels every exception a
+     mutated envelope can provoke into [Wire.Malformed] — the proof fuzzer
+     feeds these decoders adversarial bytes and asserts exactly that. *)
+  let decode_with name read data = Wire.decode name read data
 
   let encode_read_proof p = encode_with write_read_proof p
   let decode_read_proof data = decode_with "Ledger.decode_read_proof" read_read_proof data

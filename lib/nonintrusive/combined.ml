@@ -96,9 +96,12 @@ let serve_underlying t (req : Ipc.request) =
   | Ipc.Put (k, v) ->
     ignore (Spitz_kvstore.Kv.put t.underlying k v);
     `Unit
+  | Ipc.Delete k ->
+    ignore (Spitz_kvstore.Kv.delete t.underlying k);
+    `Unit
   | Ipc.Get k -> `Value (Spitz_kvstore.Kv.get t.underlying k)
   | Ipc.Range (lo, hi) -> `Entries (Spitz_kvstore.Kv.range t.underlying ~lo ~hi)
-  | Ipc.Commit _ | Ipc.Prove _ | Ipc.ProveRange _ ->
+  | Ipc.Commit _ | Ipc.Retract _ | Ipc.Prove _ | Ipc.ProveRange _ ->
     raise (Wire.Malformed "underlying database: unsupported request")
 
 (* --- the ledger-database service --- *)
@@ -108,13 +111,16 @@ let serve_ledger t (req : Ipc.request) =
   | Ipc.Commit kvs ->
     ignore (L.commit t.ledger (List.map (fun (k, v) -> Ledger.Put (k, v)) kvs));
     `Unit
+  | Ipc.Retract k ->
+    ignore (L.commit t.ledger [ Ledger.Delete k ]);
+    `Unit
   | Ipc.Prove k ->
     let _, proof = L.get_with_proof t.ledger k in
     `Proof proof
   | Ipc.ProveRange (lo, hi) ->
     let entries, proof = L.range_with_proof t.ledger ~lo ~hi in
     `EntriesProof (entries, proof)
-  | Ipc.Put _ | Ipc.Get _ | Ipc.Range _ ->
+  | Ipc.Put _ | Ipc.Delete _ | Ipc.Get _ | Ipc.Range _ ->
     raise (Wire.Malformed "ledger database: unsupported request")
 
 (* --- client operations --- *)
@@ -130,6 +136,17 @@ let put t key value =
     ~serve:(fun req -> match serve_underlying t req with `Unit -> `Unit | _ -> assert false)
     ~encode_response:enc ~decode_response:dec;
   Ipc.call t.ipc (Ipc.Commit [ (key, value) ])
+    ~serve:(fun req -> match serve_ledger t req with `Unit -> `Unit | _ -> assert false)
+    ~encode_response:enc ~decode_response:dec
+
+(* Deletes cross both boundaries like writes do: remove from the underlying
+   database, record the retraction in the ledger. *)
+let delete t key =
+  let enc, dec = unit_codec in
+  Ipc.call t.ipc (Ipc.Delete key)
+    ~serve:(fun req -> match serve_underlying t req with `Unit -> `Unit | _ -> assert false)
+    ~encode_response:enc ~decode_response:dec;
+  Ipc.call t.ipc (Ipc.Retract key)
     ~serve:(fun req -> match serve_ledger t req with `Unit -> `Unit | _ -> assert false)
     ~encode_response:enc ~decode_response:dec
 

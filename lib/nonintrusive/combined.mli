@@ -16,6 +16,10 @@ val put : t -> string -> string -> unit
 (** Write to the underlying database and commit to the ledger (two boundary
     crossings). *)
 
+val delete : t -> string -> unit
+(** Delete from the underlying database and record the retraction in the
+    ledger (two boundary crossings). *)
+
 val get : t -> string -> string option
 (** From the underlying database. *)
 

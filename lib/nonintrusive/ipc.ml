@@ -23,9 +23,11 @@ let stats t = t.stats
 
 type request =
   | Put of string * string
+  | Delete of string
   | Get of string
   | Range of string * string
   | Commit of (string * string) list
+  | Retract of string
   | Prove of string
   | ProveRange of string * string
 
@@ -33,40 +35,46 @@ let encode_request req =
   let buf = Wire.writer () in
   (match req with
    | Put (k, v) -> Wire.write_byte buf 'P'; Wire.write_string buf k; Wire.write_string buf v
+   | Delete k -> Wire.write_byte buf 'D'; Wire.write_string buf k
    | Get k -> Wire.write_byte buf 'G'; Wire.write_string buf k
    | Range (lo, hi) -> Wire.write_byte buf 'R'; Wire.write_string buf lo; Wire.write_string buf hi
    | Commit kvs ->
      Wire.write_byte buf 'C';
      Wire.write_list buf (fun buf (k, v) -> Wire.write_string buf k; Wire.write_string buf v) kvs
+   | Retract k -> Wire.write_byte buf 'r'; Wire.write_string buf k
    | Prove k -> Wire.write_byte buf 'p'; Wire.write_string buf k
    | ProveRange (lo, hi) ->
      Wire.write_byte buf 'q'; Wire.write_string buf lo; Wire.write_string buf hi);
   Wire.contents buf
 
 let decode_request data =
-  let r = Wire.reader data in
-  match Wire.read_byte r with
-  | 'P' ->
-    let k = Wire.read_string r in
-    let v = Wire.read_string r in
-    Put (k, v)
-  | 'G' -> Get (Wire.read_string r)
-  | 'R' ->
-    let lo = Wire.read_string r in
-    let hi = Wire.read_string r in
-    Range (lo, hi)
-  | 'C' ->
-    Commit
-      (Wire.read_list r (fun r ->
-           let k = Wire.read_string r in
-           let v = Wire.read_string r in
-           (k, v)))
-  | 'p' -> Prove (Wire.read_string r)
-  | 'q' ->
-    let lo = Wire.read_string r in
-    let hi = Wire.read_string r in
-    ProveRange (lo, hi)
-  | c -> raise (Wire.Malformed (Printf.sprintf "Ipc: bad request tag %C" c))
+  Wire.decode "Ipc.decode_request"
+    (fun r ->
+       match Wire.read_byte r with
+       | 'P' ->
+         let k = Wire.read_string r in
+         let v = Wire.read_string r in
+         Put (k, v)
+       | 'D' -> Delete (Wire.read_string r)
+       | 'G' -> Get (Wire.read_string r)
+       | 'R' ->
+         let lo = Wire.read_string r in
+         let hi = Wire.read_string r in
+         Range (lo, hi)
+       | 'C' ->
+         Commit
+           (Wire.read_list r (fun r ->
+                let k = Wire.read_string r in
+                let v = Wire.read_string r in
+                (k, v)))
+       | 'r' -> Retract (Wire.read_string r)
+       | 'p' -> Prove (Wire.read_string r)
+       | 'q' ->
+         let lo = Wire.read_string r in
+         let hi = Wire.read_string r in
+         ProveRange (lo, hi)
+       | c -> raise (Wire.Malformed (Printf.sprintf "Ipc: bad request tag %C" c)))
+    data
 
 (* Round-trip a request to [serve] through full marshalling on both sides. *)
 let call t req ~serve ~encode_response ~decode_response =

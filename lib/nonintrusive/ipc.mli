@@ -16,9 +16,11 @@ val stats : t -> stats
 
 type request =
   | Put of string * string
+  | Delete of string
   | Get of string
   | Range of string * string
   | Commit of (string * string) list
+  | Retract of string          (** record a deletion in the ledger *)
   | Prove of string
   | ProveRange of string * string
 

@@ -69,6 +69,12 @@ let read_hash r =
 
 let read_list r read_item =
   let n = read_varint r in
+  (* Every well-formed element occupies at least one byte, so a claimed
+     length beyond the remaining input is malformed — reject it before
+     allocating anything proportional to the attacker-supplied count. *)
+  if n > String.length r.data - r.pos then
+    raise (Malformed (Printf.sprintf "list: %d elements exceed %d remaining bytes"
+                        n (String.length r.data - r.pos)));
   List.init n (fun _ -> read_item r)
 
 let read_hash_list r = read_list r read_hash
@@ -80,3 +86,20 @@ let read_byte r =
   c
 
 let write_byte buf c = Buffer.add_char buf c
+
+(* Top-level decode of untrusted bytes: the whole input must be consumed, and
+   whatever a structured reader trips over on adversarial input — a bad
+   [String.sub], a [List.nth] past the end, a lookup miss — surfaces as
+   [Malformed], never as a leaked internal exception. *)
+let decode name read data =
+  let r = reader data in
+  match
+    let v = read r in
+    if not (at_end r) then raise (Malformed (name ^ ": trailing bytes"));
+    v
+  with
+  | v -> v
+  | exception (Malformed _ as e) -> raise e
+  | exception (End_of_file | Not_found) -> raise (Malformed (name ^ ": truncated"))
+  | exception Invalid_argument msg -> raise (Malformed (name ^ ": " ^ msg))
+  | exception Failure msg -> raise (Malformed (name ^ ": " ^ msg))

@@ -31,5 +31,16 @@ val read_varint : reader -> int
 val read_string : reader -> string
 val read_hash : reader -> Hash.t
 val read_byte : reader -> char
+
 val read_list : reader -> (reader -> 'a) -> 'a list
+(** Rejects (with {!Malformed}) a claimed element count larger than the bytes
+    remaining, so adversarial lengths cannot drive allocation. *)
+
 val read_hash_list : reader -> Hash.t list
+
+val decode : string -> (reader -> 'a) -> string -> 'a
+(** [decode name read data] runs [read] over all of [data], requiring full
+    consumption, and funnels every exception adversarial input can provoke —
+    [End_of_file], [Invalid_argument], [Failure], [Not_found] — into
+    {!Malformed}. Every top-level decoder of untrusted bytes goes through
+    this. *)

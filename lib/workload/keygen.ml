@@ -18,6 +18,21 @@ let int r bound =
   if bound <= 0 then invalid_arg "Keygen.int: bound must be positive";
   next r mod bound
 
+(* The rng is a single 63-bit word, so its state is its seed: printing it and
+   feeding it back through [of_state] replays the stream exactly — the
+   replay-by-printed-seed contract the property-testing harness relies on. *)
+let state r = r.state
+let of_state s = rng s
+let copy r = { state = r.state }
+
+(* Derive an independent stream: one draw from the parent, remixed so the
+   child's trajectory does not shadow the parent's. *)
+let split r =
+  let z = next r in
+  let z = (z lxor (z lsr 30)) * 0x2545F4914F6CDD1D land max_int in
+  let z = (z lxor (z lsr 27)) * 0x182a525e2895927 land max_int in
+  rng (z lxor (z lsr 31))
+
 let float r =
   (* 30 bits of mantissa is plenty for workload skew *)
   float_of_int (next r land 0x3FFFFFFF) /. float_of_int 0x40000000

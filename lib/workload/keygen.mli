@@ -5,9 +5,25 @@
 type rng
 
 val rng : int -> rng
+(** A deterministic stream from an explicit seed. There is no global RNG
+    anywhere in the workload layer: every consumer threads one of these, so
+    any run is replayable from its seed. *)
+
 val next : rng -> int
 val int : rng -> int -> int
 (** Uniform in [0, bound). *)
+
+val state : rng -> int
+(** The stream's full state as one printable integer; [of_state] resumes
+    exactly there. Failure reports print this for replay. *)
+
+val of_state : int -> rng
+val copy : rng -> rng
+(** An independent cursor over the same future draws. *)
+
+val split : rng -> rng
+(** Derive a statistically independent child stream, advancing the parent by
+    one draw. *)
 
 val float : rng -> float
 (** Uniform in [0, 1). *)

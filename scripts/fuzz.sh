@@ -1,0 +1,17 @@
+#!/bin/sh
+# Deadline-bounded adversarial fuzz loop (the nightly CI job runs this):
+#
+#   scripts/fuzz.sh                        # 10 minutes, time-derived seed
+#   scripts/fuzz.sh --deadline 3600        # one hour
+#   scripts/fuzz.sh --fuzz-seed 12345      # replay a logged master seed
+#
+# Every round logs its seed; a failing round replays exactly with
+# --fuzz-seed, or in utop with Spitz_check.Fuzz.fuzz_all ~seed:<seed> ().
+# Exits nonzero on any accepted mutant or foreign exception. Cumulative
+# counts land in BENCH_results.json (override with --out FILE).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build bench/main.exe
+exec ./_build/default/bench/main.exe fuzz --deadline 600 "$@"

@@ -318,13 +318,13 @@ let corrupt_proof rng (proof : Siri.proof) =
   let nodes = Array.of_list proof.Siri.nodes in
   if Array.length nodes = 0 then None
   else begin
-    let i = Random.State.int rng (Array.length nodes) in
+    let i = Spitz_workload.Keygen.int rng (Array.length nodes) in
     let original = nodes.(i) in
     let node = Bytes.of_string original in
     if Bytes.length node = 0 then None
     else begin
-      let j = Random.State.int rng (Bytes.length node) in
-      Bytes.set node j (Char.chr (Char.code (Bytes.get node j) lxor (1 + Random.State.int rng 255)));
+      let j = Spitz_workload.Keygen.int rng (Bytes.length node) in
+      Bytes.set node j (Char.chr (Char.code (Bytes.get node j) lxor (1 + Spitz_workload.Keygen.int rng 255)));
       let corrupted = Bytes.to_string node in
       Some
         {
@@ -338,14 +338,14 @@ let prop_corrupted_proofs_fail (module S : Siri.S) =
   QCheck.Test.make ~name:(S.name ^ ": corrupted proofs never verify") ~count:60
     QCheck.(pair (int_range 1 200) (int_bound 10_000))
     (fun (n, seed) ->
-       let rng = Random.State.make [| seed |] in
+       let rng = Spitz_workload.Keygen.rng seed in
        let store = Object_store.create () in
        let t = ref (S.create store) in
        for i = 0 to n - 1 do
          t := S.insert !t (key_of i) ("v" ^ string_of_int i)
        done;
        let digest = S.root_digest !t in
-       let key = key_of (Random.State.int rng n) in
+       let key = key_of (Spitz_workload.Keygen.int rng n) in
        let value, proof = S.get_with_proof !t key in
        (* sanity: the honest proof verifies *)
        S.verify_get ~digest ~key ~value proof
@@ -358,7 +358,7 @@ let prop_corrupted_range_proofs_fail (module S : Siri.S) =
   QCheck.Test.make ~name:(S.name ^ ": corrupted range proofs never verify") ~count:40
     QCheck.(pair (int_range 10 150) (int_bound 10_000))
     (fun (n, seed) ->
-       let rng = Random.State.make [| seed |] in
+       let rng = Spitz_workload.Keygen.rng seed in
        let store = Object_store.create () in
        let t = ref (S.create store) in
        for i = 0 to n - 1 do

@@ -14,4 +14,5 @@ let () =
       ("systems", Test_systems.suite);
       ("query", Test_query.suite);
       ("control", Test_control.suite);
+      ("check", Test_check.suite);
     ]
