@@ -11,6 +11,9 @@
      cc           concurrency-control ablation (section 5.2)
      pipeline     multicore commit pipeline: 1 domain vs N domains
      durability   WAL commit throughput per fsync policy; recovery time
+     group-commit concurrent-committer sweep (1/2/4/8) per fsync policy,
+                  with p50/p95/p99 commit latency (also runs as part of
+                  the durability command)
      bechamel     Bechamel micro-benchmarks, one test per figure
      all          everything above
 
@@ -1048,6 +1051,151 @@ let durability () =
   pr " commit; recovery time grows linearly with log length and collapses to\n";
   pr " the snapshot-load cost once a checkpoint folds the log in)\n"
 
+(* ---------- group commit: committer-concurrency sweep ---------- *)
+
+(* q-th percentile (0 < q <= 1) of a sorted latency array, nearest-rank. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let i = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+
+(* Concurrent committers racing one durable database. Under [Always] a
+   serial committer pays one fsync per commit, while concurrent committers
+   are coalesced by the WAL's leader/follower protocol into shared
+   write+fsync batches — so throughput should scale with committers. Every
+   leg is checked for correctness, not just speed: the journal's committed
+   order is replayed serially into a fresh in-memory database (digests must
+   be bit-identical — group commit must not leak into commitments), then
+   the directory is reopened to confirm recovery reproduces the digest and
+   the full chain audit passes.
+
+   Committers are systhreads, not domains: they model concurrent client
+   sessions, which block on the commit lock and the fsync — both release
+   the runtime lock, so the durability pipeline overlaps exactly as it
+   would across processes — without dragging every measurement through the
+   multi-domain GC barriers that dominate when committers outnumber cores
+   (domain-parallel commit CPU is the [pipeline] figure's subject, and
+   domain-racing correctness is covered by the test suite). *)
+let group_commit () =
+  let commits = max 200 (4000 / !scale) in
+  pr "\n== Group commit: committer sweep per fsync policy (%d commits) ==\n" commits;
+  pr "%-14s%11s%13s%9s%9s%9s%8s%8s%8s\n" "policy" "committers" "commits k/s"
+    "p50ms" "p95ms" "p99ms" "batch" "equal" "audit";
+  let serial_always = ref 0. in
+  let group8_always = ref 0. in
+  let policy_rows =
+    List.map
+      (fun (name, sync) ->
+         let rows =
+           List.map
+             (fun n ->
+                (* start each leg from a clean major heap — leftover garbage
+                   from the previous leg's replay/recovery otherwise turns
+                   into multi-domain major slices mid-measurement *)
+                Gc.full_major ();
+                let per = commits / n in
+                let dir = temp_dir () in
+                let d = Spitz.Db.open_durable ~sync dir in
+                let db = Spitz.Db.durable_db d in
+                let lats = Array.init n (fun _ -> Array.make per 0.) in
+                let committer c () =
+                  let lat = lats.(c) in
+                  for j = 0 to per - 1 do
+                    let k = Keygen.key_of ((c * per) + j) in
+                    let t0 = Runner.now () in
+                    ignore (Spitz.Db.put db k (Keygen.value_of k));
+                    lat.(j) <- Runner.now () -. t0
+                  done
+                in
+                let (), wall =
+                  Runner.time (fun () ->
+                      let ds = List.init n (fun c -> Thread.create (committer c) ()) in
+                      List.iter Thread.join ds)
+                in
+                let thr = float_of_int (per * n) /. wall in
+                let st = Spitz.Db.wal_stats d in
+                let batch =
+                  if st.Spitz_storage.Wal.fsyncs = 0 then 0.
+                  else
+                    float_of_int st.Spitz_storage.Wal.records
+                    /. float_of_int st.Spitz_storage.Wal.fsyncs
+                in
+                (* serial equivalence: replay the committed order *)
+                let ledger = Spitz.Auditor.ledger (Spitz.Db.auditor db) in
+                let journal = Spitz.Db.L.journal ledger in
+                let serial = Spitz.Db.open_db () in
+                for h = 0 to Spitz.Db.L.height ledger - 1 do
+                  let block = Spitz_ledger.Journal.block journal h in
+                  let writes =
+                    List.map
+                      (fun e ->
+                         let k = e.Spitz_ledger.Block.key in
+                         Spitz_ledger.Ledger.Put (k, Keygen.value_of k))
+                      block.Spitz_ledger.Block.entries
+                  in
+                  ignore (Spitz.Db.commit serial writes)
+                done;
+                let equal = Spitz.Db.digest db = Spitz.Db.digest serial in
+                (* recovery: reopen the directory and re-audit the chain *)
+                Spitz.Db.close_durable d;
+                let d' = Spitz.Db.open_durable dir in
+                let db' = Spitz.Db.durable_db d' in
+                let audit_ok =
+                  Spitz.Db.digest db' = Spitz.Db.digest db && Spitz.Db.audit db'
+                in
+                Spitz.Db.close_durable d';
+                rm_rf dir;
+                if not (equal && audit_ok) then exit_code := 1;
+                let all = Array.concat (Array.to_list lats) in
+                Array.sort compare all;
+                let p q = percentile all q *. 1e3 in
+                let p50 = p 0.50 and p95 = p 0.95 and p99 = p 0.99 in
+                if name = "always" then
+                  if n = 1 then serial_always := thr
+                  else if n = 8 then group8_always := thr;
+                pr "%-14s%11d%13.1f%9.2f%9.2f%9.2f%8.1f%8s%8s\n" name n
+                  (Runner.kops thr) p50 p95 p99 batch
+                  (if equal then "yes" else "NO")
+                  (if audit_ok then "yes" else "NO");
+                J.Obj
+                  [
+                    ("committers", J.Num (float_of_int n));
+                    ("commits_kops", J.Num (Runner.kops thr));
+                    ("p50_ms", J.Num p50);
+                    ("p95_ms", J.Num p95);
+                    ("p99_ms", J.Num p99);
+                    ("records_per_fsync", J.Num batch);
+                    ("digest_equals_serial_replay", J.Bool equal);
+                    ("recovered_audit_ok", J.Bool audit_ok);
+                  ])
+             [ 1; 2; 4; 8 ]
+         in
+         (name, J.Arr rows))
+      [ ("always", Spitz_storage.Wal.Always);
+        ("group", Spitz_storage.Wal.Group { max_batch = 8; max_delay_us = 200 });
+        ("interval-64", Spitz_storage.Wal.Interval 64);
+        ("never", Spitz_storage.Wal.Never) ]
+  in
+  let speedup =
+    if !serial_always > 0. then !group8_always /. !serial_always else 0.
+  in
+  pr "\nalways, 8 committers vs 1: %.2fx\n" speedup;
+  add_result "group_commit"
+    (J.Obj
+       [
+         ("commits", J.Num (float_of_int commits));
+         ("policies", J.Obj policy_rows);
+         ("always_speedup_8_vs_1", J.Num speedup);
+       ]);
+  pr "(expected shape: under always, throughput grows with committers — the\n";
+  pr " log's leader batches concurrent records into one write+fsync — while\n";
+  pr " never/interval legs, already fsync-light, gain less; tail latency\n";
+  pr " rises with queueing but p50 stays near the fsync cost; 'equal' and\n";
+  pr " 'audit' must be yes everywhere: group commit must not change digests\n";
+  pr " or break recovery)\n"
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let bechamel () =
@@ -1225,12 +1373,19 @@ let cache_report () =
 let usage () =
   pr
     "usage: main.exe \
-     [fig1|fig6a|fig6b|fig7|fig8a|fig8b|siri|verify|verify-mode|cc|learned|pipeline|durability|bechamel|fuzz|all]\n\
+     [fig1|fig6a|fig6b|fig7|fig8a|fig8b|siri|verify|verify-mode|cc|learned|pipeline|durability|group-commit|bechamel|fuzz|all]\n\
     \       [--scale N] [--ops N] [--domains N] [--out FILE]\n\
     \       [--deadline SECONDS] [--fuzz-seed N]   (fuzz; seed 0 = time-derived)\n";
   exit 1
 
 let () =
+  (* A bigger minor heap for every domain: at the default 256k words the
+     multi-domain legs (pipeline, group-commit) spend a large share of
+     their time in stop-the-world minor collections — on a one-core box
+     that syncs up to 8 threads per collection. 4M words (32 MB) per
+     domain makes GC cost negligible at bench allocation rates without
+     distorting any single-domain number. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4_194_304 };
   let cmds = ref [] in
   let int_arg flag v =
     match int_of_string_opt v with
@@ -1284,7 +1439,10 @@ let () =
     | "learned" -> learned ()
     | "cc" -> cc ()
     | "pipeline" -> pipeline ()
-    | "durability" -> durability ()
+    | "durability" ->
+      durability ();
+      group_commit ()
+    | "group-commit" -> group_commit ()
     | "bechamel" -> bechamel ()
     | "fuzz" -> fuzz_cmd ()
     | "all" ->
@@ -1300,6 +1458,7 @@ let () =
       cc ();
       pipeline ();
       durability ();
+      group_commit ();
       bechamel ()
     | cmd ->
       pr "unknown command %S\n" cmd;

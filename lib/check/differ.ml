@@ -354,6 +354,128 @@ let check_pool_invariance (tr : Trace.trace) =
       (Spitz_crypto.Hash.to_hex pooled.Spitz_ledger.Journal.root)
       pooled.Spitz_ledger.Journal.size
 
+(* --- concurrent commit serializability --- *)
+
+(* N domains race the thread-safe [Db.commit] front-end with disjoint
+   round-robin slices of the trace's batches. The result must be *some*
+   serial permutation of those batches. Each block carries a sentinel
+   statement naming its (committer, sequence) pair, so the journal itself
+   reveals the committed order; the checks are then:
+
+   1. the committed order is a valid merge — every committer's batches
+      appear in its own submission order;
+   2. serially replaying the batches in the committed order on a fresh
+      database yields a bit-identical digest, and the concurrent database
+      agrees with the model of that order on reads, proofs, and audit;
+   3. on small traces, brute force: the concurrent digest equals the serial
+      digest of at least one enumeration of all batch permutations (the
+      PR-4 serializability-by-permutation style, now at the ledger). *)
+
+let sentinel c j = Printf.sprintf "cc:%d:%d" c j
+
+let parse_sentinel s =
+  try Scanf.sscanf s "cc:%d:%d" (fun c j -> (c, j))
+  with Scanf.Scan_failure _ | End_of_file | Failure _ ->
+    fail "block statement %S is not a committer sentinel" s
+
+let check_concurrent_commits (tr : Trace.trace) =
+  let batches =
+    List.filter_map (function Trace.Commit ws -> Some ws | Trace.Reopen -> None) tr.steps
+  in
+  if batches <> [] then begin
+    let ncommitters = min 4 (List.length batches) in
+    let slices =
+      List.init ncommitters (fun c ->
+          List.filteri (fun i _ -> i mod ncommitters = c) batches)
+    in
+    let batch_of (c, j) = List.nth (List.nth slices c) j in
+    let db = Db.open_db () in
+    let domains =
+      List.mapi
+        (fun c slice ->
+           Domain.spawn (fun () ->
+               List.iteri
+                 (fun j ws ->
+                    ignore (Db.commit db ~statements:[ sentinel c j ] (writes_of ws)))
+                 slice))
+        slices
+    in
+    List.iter Domain.join domains;
+    let digest = Db.digest db in
+    let ledger = Spitz.Auditor.ledger (Db.auditor db) in
+    let height = Db.L.height ledger in
+    if height <> List.length batches then
+      fail "concurrent run: %d blocks for %d batches" height (List.length batches);
+    (* recover the committed order from the blocks' sentinel statements *)
+    let order =
+      List.init height (fun h ->
+          match
+            (Spitz_ledger.Journal.block (Db.L.journal ledger) h).Spitz_ledger.Block.statements
+          with
+          | [ s ] -> parse_sentinel s
+          | ss -> fail "block %d carries %d statements, expected 1" h (List.length ss))
+    in
+    (* 1. a valid merge of the per-committer sequences *)
+    let next = Array.make ncommitters 0 in
+    List.iter
+      (fun (c, j) ->
+         if c < 0 || c >= ncommitters then fail "unknown committer %d" c;
+         if j <> next.(c) then
+           fail "committer %d: batch %d committed before batch %d" c j next.(c);
+         next.(c) <- j + 1)
+      order;
+    (* 2. the committed order, replayed serially, is bit-identical *)
+    let replay_order order =
+      let serial = Db.open_db () in
+      List.iter
+        (fun (c, j) ->
+           ignore (Db.commit serial ~statements:[ sentinel c j ] (writes_of (batch_of (c, j)))))
+        order;
+      Db.digest serial
+    in
+    let serial_digest = replay_order order in
+    if serial_digest <> digest then
+      fail "concurrent digest %s/%d differs from its own serial order %s/%d"
+        (Spitz_crypto.Hash.to_hex digest.Spitz_ledger.Journal.root)
+        digest.Spitz_ledger.Journal.size
+        (Spitz_crypto.Hash.to_hex serial_digest.Spitz_ledger.Journal.root)
+        serial_digest.Spitz_ledger.Journal.size;
+    (* reads, proofs and audit agree with the model of the committed order *)
+    let model =
+      List.fold_left (fun m cj -> Model.commit m (batch_of cj)) Model.empty order
+    in
+    List.iter
+      (fun k ->
+         let key = Trace.key k in
+         let expect = Model.get model k in
+         let v, proof = Db.get_verified db key in
+         if v <> expect then
+           fail "concurrent run: get %d = %s, model of committed order %s" k (opt_str v)
+             (opt_str expect);
+         match proof with
+         | None -> fail "concurrent run: no read proof for key %d" k
+         | Some p ->
+           if not (Db.verify_read ~digest ~key ~value:v p) then
+             fail "concurrent run: read proof for key %d does not verify" k)
+      (probe_keys tr model);
+    if not (Db.audit db) then fail "concurrent run: chain audit failed";
+    (* 3. brute force on small traces: SOME permutation matches (and since
+       digests chain over block contents, only order-equivalent ones do) *)
+    if List.length batches <= 4 then begin
+      let rec permutations = function
+        | [] -> [ [] ]
+        | l ->
+          List.concat_map
+            (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) l)))
+            l
+      in
+      let all = permutations order in
+      if not (List.exists (fun o -> replay_order o = digest) all) then
+        fail "no serial permutation of %d batches reproduces the concurrent digest"
+          (List.length batches)
+    end
+  end
+
 let check_digest_stability (tr : Trace.trace) =
   with_temp_file @@ fun tmp ->
   let first = replay_digest tr in

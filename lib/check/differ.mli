@@ -37,6 +37,16 @@ val check_pool_invariance : Trace.trace -> unit
     the sequential replay — commit parallelism must not leak into
     commitments. Uses a small shared pool, created lazily on first use. *)
 
+val check_concurrent_commits : Trace.trace -> unit
+(** Serializability of the concurrent commit front-end: up to four domains
+    race [Db.commit] with disjoint slices of the trace's batches (each block
+    tagged with a committer sentinel statement). Asserts the committed order
+    recovered from the journal is a valid merge of the per-committer
+    sequences; that serially replaying that order yields a bit-identical
+    digest; that reads, proofs and the chain audit agree with the model of
+    that order; and, on small traces, that brute-force permutation
+    enumeration also finds a matching serial order. *)
+
 val check_digest_stability : Trace.trace -> unit
 (** The digest is a pure function of the committed history: replaying the
     same trace twice — and through a save/load round-trip — yields identical

@@ -20,6 +20,12 @@ let digest t = L.digest t.ledger
 (* Record a batch of changes as one ledger block; returns its height. *)
 let record t ?statements writes = L.commit t.ledger ?statements writes
 
+(* Split commit for the concurrent front-end: [prepare] (value hashing,
+   lock-free, any number of callers) then [record_prepared] (the serial
+   section — caller must hold the commit lock). *)
+let prepare t ?statements writes = L.prepare t.ledger ?statements writes
+let record_prepared t prepared = L.commit_prepared t.ledger prepared
+
 (* Proof retrieval for the read path (section 5.1, read step 3). *)
 let get_with_proof t key = L.get_with_proof t.ledger key
 let get_batch_with_proof t keys = L.get_batch_with_proof t.ledger keys

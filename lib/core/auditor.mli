@@ -20,6 +20,13 @@ val digest : t -> Journal.digest
 val record : t -> ?statements:string list -> Ledger.write list -> int
 (** Commit a batch of changes as one ledger block; returns its height. *)
 
+val prepare : t -> ?statements:string list -> Ledger.write list -> L.prepared
+val record_prepared : t -> L.prepared -> int
+(** {!record} split for concurrent committers: [prepare] hashes the batch's
+    values (pure, callable from any domain without a lock); [record_prepared]
+    is the serial section — calls must be externally serialized, and the
+    resulting chain is bit-identical to serial {!record}s in that order. *)
+
 val get_with_proof : t -> string -> string option * L.read_proof option
 val get_batch_with_proof :
   t -> string list -> string option list * L.batch_read_proof option

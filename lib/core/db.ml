@@ -20,6 +20,14 @@ type t = {
   auditor : Auditor.t;
   column : string;               (* column id for the KV surface *)
   inverted : Spitz_index.Inverted.t option;
+  commit_lock : Mutex.t;
+  (* serializes the ledger/cell-store mutation section of [commit]; value
+     hashing before it and the WAL durability wait after it run outside the
+     lock, so concurrent committers overlap CPU and I/O *)
+  mutable wal_ack : (unit -> unit) option;
+  (* stashed by the on-commit hook (under [commit_lock]): blocks until the
+     WAL record of the block just committed is durable. [commit] takes it
+     and runs it after releasing the lock. *)
 }
 
 let open_db ?store ?pool ?(column = "v") ?(with_inverted = false) () =
@@ -30,6 +38,8 @@ let open_db ?store ?pool ?(column = "v") ?(with_inverted = false) () =
     auditor = Auditor.create ?pool store;
     column;
     inverted = (if with_inverted then Some (Spitz_index.Inverted.create ()) else None);
+    commit_lock = Mutex.create ();
+    wal_ack = None;
   }
 
 let store t = t.store
@@ -78,10 +88,42 @@ let apply_cells t height writes =
 
 (* The general write path: one batch of puts and deletes, one ledger block.
    Deletes land as tombstones in both the ledger index and the cell store,
-   so the verifiable surface and the query surface agree on absence. *)
+   so the verifiable surface and the query surface agree on absence.
+
+   Thread-safe: any number of domains may commit concurrently. The pipeline
+   has three stages per commit — (1) value hashing ([Auditor.prepare]),
+   pure and lock-free, so it overlaps with anything, including the WAL
+   write of an earlier commit; (2) the serial section under [commit_lock]:
+   txn-id assignment, SIRI index update, block assembly, journal append,
+   cell-store apply, and (when a WAL is attached) a non-blocking
+   [Wal.submit]; (3) the durability wait, after the lock is released —
+   committer B enters its serial section while committer A is still
+   fsyncing, and A's WAL leader coalesces every record submitted meanwhile.
+   Blocks enter the ledger in the order the lock is acquired, so digests,
+   proofs and audits are byte-identical to that serial order. *)
 let commit t ?statements writes =
-  let height = Auditor.record t.auditor ?statements writes in
-  apply_cells t height writes;
+  let prepared = Auditor.prepare t.auditor ?statements writes in
+  Mutex.lock t.commit_lock;
+  let height, ack =
+    match
+      let height = Auditor.record_prepared t.auditor prepared in
+      apply_cells t height writes;
+      let ack = t.wal_ack in
+      t.wal_ack <- None;
+      (height, ack)
+    with
+    | result ->
+      Mutex.unlock t.commit_lock;
+      result
+    | exception e ->
+      Mutex.unlock t.commit_lock;
+      raise e
+  in
+  (match ack with
+   | None -> ()
+   | Some wait_durable ->
+     wait_durable ();
+     Fault.hit "commit.acked");
   height
 
 let put_batch t ?statements kvs =
@@ -214,6 +256,8 @@ let rebuild ?pool ~store ~column ~with_inverted bodies =
       auditor = Auditor.of_ledger ledger;
       column;
       inverted = (if with_inverted then Some (Spitz_index.Inverted.create ()) else None);
+      commit_lock = Mutex.create ();
+      wal_ack = None;
     }
   in
   let journal = L.journal ledger in
@@ -377,12 +421,18 @@ let decode_wal_record data =
 
 let durable_db d = d.db
 let wal_size d = Wal.size d.wal
+let wal_stats d = Wal.stats d.wal
 
 let check_open d op = if d.closed then invalid_arg ("Db." ^ op ^ ": durable handle is closed")
 
 (* Wire the log into the commit path: the store observer captures every new
    object; the ledger's commit hook drains the capture buffer into one log
-   record per committed block. *)
+   record per committed block. The hook runs inside [commit]'s serial
+   section, so it only *submits* the record (non-blocking under the
+   group-commit policies) and stashes the durability wait in [wal_ack];
+   [commit] runs the wait after releasing the lock. Submissions therefore
+   happen under the commit lock in block order — WAL records land in the
+   file in height order even with many concurrent committers. *)
 let attach_wal db wal captured =
   Object_store.set_observer db.store
     (Some (fun _h data -> captured := data :: !captured));
@@ -393,8 +443,9 @@ let attach_wal db wal captured =
           Fault.hit "commit.before_wal";
           let objects = List.rev !captured in
           captured := [];
-          Wal.append wal (encode_wal_record ~height ~body objects);
-          Fault.hit "commit.after_wal"))
+          let ticket = Wal.submit wal (encode_wal_record ~height ~body objects) in
+          Fault.hit "commit.after_submit";
+          db.wal_ack <- Some (fun () -> Wal.wait wal ticket)))
 
 let open_durable ?(sync = Wal.Always) ?pool ?(column = "v") ?(with_inverted = false) dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -465,14 +516,20 @@ let open_durable ?(sync = Wal.Always) ?pool ?(column = "v") ?(with_inverted = fa
 
 let checkpoint d =
   check_open d "checkpoint";
-  Fault.hit "checkpoint.begin";
-  (* snapshot to temp + rename ([save] is atomic), then drop the log *)
-  save d.db (snapshot_file d.dir);
-  Wal.fsync_dir d.dir;
-  Fault.hit "checkpoint.after_rename";
-  Wal.reset d.wal;
-  (* objects captured since the last commit are inside the snapshot now *)
-  d.captured := []
+  (* hold the commit lock: the snapshot must be a block boundary, and the
+     log reset must not race records of in-flight commits *)
+  Mutex.lock d.db.commit_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock d.db.commit_lock)
+    (fun () ->
+       Fault.hit "checkpoint.begin";
+       (* snapshot to temp + rename ([save] is atomic), then drop the log *)
+       save d.db (snapshot_file d.dir);
+       Wal.fsync_dir d.dir;
+       Fault.hit "checkpoint.after_rename";
+       Wal.reset d.wal;
+       (* objects captured since the last commit are inside the snapshot now *)
+       d.captured := [])
 
 let sync_durable d =
   check_open d "sync_durable";

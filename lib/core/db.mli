@@ -43,7 +43,17 @@ val commit : t -> ?statements:string list -> Ledger.write list -> int
 (** The general write path: one batch of puts and deletes as one ledger
     block. Deletes land as tombstones in both the ledger index and the cell
     store, so the verifiable surface and the query surface agree on
-    absence. *)
+    absence.
+
+    Thread-safe: any number of domains may commit concurrently (this covers
+    every write path — {!put}, {!put_batch}, {!delete} all funnel here).
+    Value hashing runs before the internal commit lock, the WAL durability
+    wait (durable databases) runs after it, so committers overlap hashing
+    and fsync I/O while blocks still enter the ledger one at a time —
+    digests, proofs and audits are byte-identical to committing the same
+    batches serially in lock-acquisition order. Reads are not synchronized
+    against concurrent commits; readers observing a mid-commit state is the
+    caller's concern. *)
 
 val put : t -> string -> string -> int
 (** Write one key; commits one ledger block and returns its height. Updates
@@ -155,8 +165,12 @@ val load : string -> t
     {!Spitz_storage.Wal} of commits since). Every ledger commit — through
     {e any} write path of the returned database — appends one log record
     with the objects the commit added and its block address; the sync policy
-    decides how often the log is fsynced ([Always] = every commit durable,
-    [Interval n] = group commit, [Never] = OS-paced).
+    decides how often the log is fsynced ([Always] / [Group] = every
+    acknowledged commit durable, with concurrent committers coalesced into
+    one write+fsync by the log's leader/follower protocol, [Interval n] =
+    fsync every n records, [Never] = OS-paced). A commit only returns after
+    its log record meets the policy's guarantee — under [Always]/[Group] no
+    committer is acknowledged before its record is on disk.
 
     Recovery on {!open_durable} is replay: restore the snapshot, re-apply
     the log's valid prefix (a torn tail at the first bad CRC is truncated,
@@ -189,6 +203,10 @@ val sync_durable : durable -> unit
 
 val wal_size : durable -> int
 (** Current log size in bytes (what the next {!checkpoint} will fold in). *)
+
+val wal_stats : durable -> Spitz_storage.Wal.stats
+(** The log's lifetime records/fsyncs counters — [records /. fsyncs] is the
+    achieved group-commit batch size. *)
 
 val close_durable : durable -> unit
 (** Flush and close the log and detach the commit hooks. Idempotent. The

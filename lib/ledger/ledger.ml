@@ -73,15 +73,29 @@ module Make (Index : Siri.S) = struct
      the pool handoff. *)
   let parallel_threshold = 16
 
-  (* Commit pipeline (one batch of writes -> one block; returns its height).
-     Stage 1, parallel when a pool is attached: hash every written value —
-     pure, independent per write, and the dominant crypto cost of large
-     batches. Stage 2, always serial: apply the writes to the SIRI index in
-     batch order, so the index root (and therefore every proof) is
-     bit-identical at any pool size. Stage 3: assemble the block, with its
-     entry leaf hashes computed on the pool as well. *)
-  let commit t ?(statements = []) writes =
-    let txn_id = fresh_txn t in
+  (* Commit pipeline (one batch of writes -> one block; returns its height),
+     split in two so a concurrent front-end can overlap the phases of
+     different commits.
+
+     [prepare] — stage 1, parallel when a pool is attached: hash every
+     written value — pure, independent per write, the dominant crypto cost
+     of large batches, and free of any ledger state, so many committers may
+     prepare concurrently (no lock needed) while another commit's WAL write
+     is in flight.
+
+     [commit_prepared] — the serial section; the caller must serialize
+     calls. Stage 2: assign the txn id and apply the writes to the SIRI
+     index in batch order, so txn ids, the index root and therefore every
+     proof are bit-identical to some serial execution order regardless of
+     how many committers prepared concurrently. Stage 3: assemble the
+     block, with its entry leaf hashes computed on the pool as well. *)
+  type prepared = {
+    p_writes : write list;
+    p_statements : string list;
+    p_value_hashes : Hash.t list;
+  }
+
+  let prepare t ?(statements = []) writes =
     let value_hashes =
       let hash_of = function
         | Put (_, v) -> Hash.of_string v
@@ -93,6 +107,10 @@ module Make (Index : Siri.S) = struct
         Spitz_exec.Pool.map_list pool hash_of writes
       | _ -> List.map hash_of writes
     in
+    { p_writes = writes; p_statements = statements; p_value_hashes = value_hashes }
+
+  let commit_prepared t { p_writes = writes; p_statements = statements; p_value_hashes = value_hashes } =
+    let txn_id = fresh_txn t in
     let index =
       List.fold_left
         (fun index w ->
@@ -128,6 +146,8 @@ module Make (Index : Siri.S) = struct
      | None -> ()
      | Some f -> f ~height ~body:(Journal.body_hash t.journal height) block);
     height
+
+  let commit t ?statements writes = commit_prepared t (prepare t ?statements writes)
 
   (* --- Reads --- *)
 

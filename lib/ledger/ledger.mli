@@ -30,7 +30,25 @@ module Make (Index : Siri.S) : sig
 
   val commit : t -> ?statements:string list -> write list -> int
   (** Commit one batch as a new block holding a fresh index instance;
-      returns the block height. *)
+      returns the block height. Equivalent to {!prepare} followed by
+      {!commit_prepared}. *)
+
+  type prepared
+  (** A batch whose value hashes have been computed but which has not yet
+      been given a place in the ledger. *)
+
+  val prepare : t -> ?statements:string list -> write list -> prepared
+  (** The parallel-safe front half of {!commit}: hash every written value
+      (on the pool when attached). Touches no ledger state — any number of
+      committers may [prepare] concurrently, overlapping the hashing of one
+      commit with the serial section or WAL write of another. *)
+
+  val commit_prepared : t -> prepared -> int
+  (** The serial back half of {!commit}: assign the transaction id, apply
+      the writes to the SIRI index in batch order, assemble and append the
+      block. Calls must be externally serialized; the resulting chain is
+      bit-identical to committing the same batches serially in the same
+      order. *)
 
   val set_on_commit :
     t -> (height:int -> body:Hash.t -> Block.t -> unit) option -> unit

@@ -1,19 +1,64 @@
-type sync_policy = Always | Interval of int | Never
+type sync_policy =
+  | Always
+  | Interval of int
+  | Never
+  | Group of { max_batch : int; max_delay_us : int }
+
+(* Two classes of policy:
+
+   - [Interval]/[Never] write each frame at submit time (one [write] per
+     record, fsync per policy) — the original behaviour, now under a mutex
+     so concurrent appenders are safe.
+
+   - [Always]/[Group] run leader/follower group commit: [submit] only
+     frames the record into an in-memory batch buffer; the first waiter
+     whose batch is not yet durable elects itself leader, swaps the batch
+     out (double buffering: new submissions keep landing in the other
+     buffer while the leader does I/O), writes every pending frame in a
+     single [write], fsyncs once, and wakes all waiters of that batch.
+     No committer is acknowledged ([wait] returns) before its record is
+     durable. [Group] additionally lets the leader linger up to
+     [max_delay_us] for more committers to arrive when fewer than
+     [max_batch] records are pending. *)
 
 type t = {
   path : string;
   fd : Unix.file_descr;
   sync_policy : sync_policy;
-  mutable pending : int; (* appends since the last fsync *)
-  mutable bytes : int;   (* current file size *)
+  mutable pending : int; (* appends since the last fsync (Interval only) *)
+  mutable bytes : int;   (* bytes written to the file so far *)
   mutable closed : bool;
+  (* group-commit state, guarded by [m] *)
+  m : Mutex.t;
+  flushed : Condition.t;           (* broadcast after every flush; waiters
+                                      re-check [durable_seq] *)
+  idle : Condition.t;              (* broadcast when a flush ends; drain
+                                      waiters re-check [flushing] *)
+  mutable active : Buffer.t;       (* frames of the batch accepting submits *)
+  mutable standby : Buffer.t;      (* double buffer: swapped in at flush *)
+  mutable frame_ends : int list;   (* record end offsets in [active], newest first *)
+  mutable batch : int;             (* sequence number of the active batch *)
+  mutable durable_seq : int;       (* highest batch sequence known durable *)
+  mutable flushing : bool;         (* a leader currently owns the flush *)
+  mutable last_batch_n : int;      (* records in the last flushed batch *)
+  mutable backlog : int;           (* records already pending when the last
+                                      flush ended — submits that landed while
+                                      the leader was on the disk *)
+  mutable last_fsync_s : float;    (* duration of the last fsync, seconds *)
+  head : Bytes.t;                  (* preallocated 8-byte frame-header scratch *)
+  mutable n_records : int;         (* records submitted over the log's life *)
+  mutable n_fsyncs : int;          (* fsyncs issued over the log's life *)
 }
+
+type stats = { records : int; fsyncs : int }
+
+type ticket = int
 
 let header_len = 8 (* 4-byte length + 4-byte crc, both little-endian *)
 
-let le32 buf v =
+let set_le32 b off v =
   for i = 0 to 3 do
-    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+    Bytes.set b (off + i) (Char.chr ((v lsr (8 * i)) land 0xff))
   done
 
 let read_le32 s off =
@@ -23,21 +68,47 @@ let read_le32 s off =
 let open_log ?(sync = Always) path =
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
   let bytes = (Unix.fstat fd).Unix.st_size in
-  { path; fd; sync_policy = sync; pending = 0; bytes; closed = false }
+  {
+    path;
+    fd;
+    sync_policy = sync;
+    pending = 0;
+    bytes;
+    closed = false;
+    m = Mutex.create ();
+    flushed = Condition.create ();
+    idle = Condition.create ();
+    active = Buffer.create 4096;
+    standby = Buffer.create 4096;
+    frame_ends = [];
+    batch = 0;
+    durable_seq = -1;
+    flushing = false;
+    last_batch_n = 0;
+    backlog = 0;
+    last_fsync_s = 0.;
+    head = Bytes.create header_len;
+    n_records = 0;
+    n_fsyncs = 0;
+  }
 
 let path t = t.path
 let policy t = t.sync_policy
 let size t = t.bytes
+let stats t = { records = t.n_records; fsyncs = t.n_fsyncs }
 
 let check_open t op = if t.closed then invalid_arg ("Wal." ^ op ^ ": log is closed")
 
-let fsync t =
-  Unix.fsync t.fd;
-  t.pending <- 0
+let buffered t = match t.sync_policy with Always | Group _ -> true | Interval _ | Never -> false
 
-let sync t =
-  check_open t "sync";
-  fsync t
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let fsync_unlocked t =
+  Unix.fsync t.fd;
+  t.n_fsyncs <- t.n_fsyncs + 1;
+  t.pending <- 0
 
 let write_all fd s pos len =
   let off = ref pos and left = ref len in
@@ -47,45 +118,215 @@ let write_all fd s pos len =
     left := !left - n
   done
 
-let append t record =
-  check_open t "append";
+(* Frame one record into [buf] using the log's preallocated header scratch
+   (no per-record [Buffer] allocation on the hot path). Caller holds [m]. *)
+let frame_into t buf record =
   let len = String.length record in
-  let head = Buffer.create header_len in
-  le32 head len;
-  let crc = Crc32.update (Crc32.digest (Buffer.contents head)) record in
-  le32 head (Int32.to_int (Int32.logand crc 0xffffffffl) land 0xffffffff);
-  let frame = Buffer.contents head ^ record in
-  if Fault.armed "wal.append.torn" then begin
-    (* simulate a torn write: half the frame reaches the file, then death *)
-    let half = max 1 (String.length frame / 2) in
-    write_all t.fd frame 0 half;
-    t.bytes <- t.bytes + half;
-    Fault.hit "wal.append.torn";
-    (* the armed countdown survived this hit: finish the frame normally *)
-    write_all t.fd frame half (String.length frame - half);
-    t.bytes <- t.bytes + (String.length frame - half)
-  end
-  else begin
-    write_all t.fd frame 0 (String.length frame);
-    t.bytes <- t.bytes + String.length frame
+  set_le32 t.head 0 len;
+  let crc =
+    Crc32.update (Crc32.digest (Bytes.sub_string t.head 0 4)) record
+  in
+  set_le32 t.head 4 (Int32.to_int (Int32.logand crc 0xffffffffl) land 0xffffffff);
+  Buffer.add_subbytes buf t.head 0 header_len;
+  Buffer.add_string buf record
+
+(* Write [data] (one frame, or a whole coalesced batch of frames whose
+   record boundaries are [ends]) with the crash-injection sites:
+   ["wal.append.torn"] tears the write mid-frame, ["wal.flush.mid_batch"]
+   tears it at a record boundary in the middle of a multi-record batch. *)
+let write_frames t ~ends data =
+  let total = String.length data in
+  if total > 0 then begin
+    let nrecords = List.length ends in
+    if Fault.armed "wal.flush.mid_batch" && nrecords > 1 then begin
+      (* an exact prefix of records reaches the file, then death *)
+      let keep = List.nth ends ((nrecords / 2) - 1) in
+      write_all t.fd data 0 keep;
+      t.bytes <- t.bytes + keep;
+      Fault.hit "wal.flush.mid_batch";
+      (* the armed countdown survived this hit: finish the batch normally *)
+      write_all t.fd data keep (total - keep);
+      t.bytes <- t.bytes + (total - keep)
+    end
+    else if Fault.armed "wal.append.torn" then begin
+      (* simulate a torn write: half the bytes reach the file, then death *)
+      let half = max 1 (total / 2) in
+      write_all t.fd data 0 half;
+      t.bytes <- t.bytes + half;
+      Fault.hit "wal.append.torn";
+      write_all t.fd data half (total - half);
+      t.bytes <- t.bytes + (total - half)
+    end
+    else begin
+      write_all t.fd data 0 total;
+      t.bytes <- t.bytes + total
+    end
   end;
-  Fault.hit "wal.append.before_sync";
-  (match t.sync_policy with
-   | Always -> fsync t
-   | Interval n ->
-     t.pending <- t.pending + 1;
-     if t.pending >= max 1 n then fsync t
-   | Never -> ())
+  Fault.hit "wal.append.before_sync"
+
+(* Leader flush of the active batch. Called with [m] held and
+   [t.flushing = false]; returns with [m] held, the batch durable and all
+   waiters woken. I/O happens outside the lock, so submitters keep framing
+   records into the standby buffer while the leader is on the disk. *)
+(* Linger before swapping the batch out: sleep in short slices (lock
+   released) while new frames keep arriving, and stop as soon as the
+   arrival stream pauses — committers mid-pipeline get to join the batch,
+   but an idle system never waits out a fixed timer. [cap] bounds the
+   total linger, [max_batch] stops it early. Caller holds [m]. *)
+let linger_locked t ~cap ~max_batch =
+  let slice = 40e-6 in
+  let deadline = Unix.gettimeofday () +. cap in
+  let rec grow () =
+    let n0 = List.length t.frame_ends in
+    if n0 < max_batch then begin
+      Mutex.unlock t.m;
+      Unix.sleepf slice;
+      Mutex.lock t.m;
+      if List.length t.frame_ends > n0 && Unix.gettimeofday () < deadline then
+        grow ()
+    end
+  in
+  grow ()
+
+let flush_locked ?(linger = true) t =
+  t.flushing <- true;
+  (if linger then
+     match t.sync_policy with
+     | Group { max_batch; max_delay_us }
+       when max_delay_us > 0 && List.length t.frame_ends < max_batch ->
+       linger_locked t ~cap:(float_of_int max_delay_us /. 1e6) ~max_batch
+     | Always
+       when t.last_batch_n > 2 || t.backlog >= 2
+            || (match t.frame_ends with _ :: _ :: _ :: _ -> true | _ -> false) ->
+       (* adaptive group commit, gated on evidence of >= 3 live committers
+          (the last batch coalesced three records, or >= 2 records piled up
+          behind the previous flush, or >= 3 are pending right now):
+          holding the flush while committers keep arriving lets them share
+          this fsync instead of fragmenting into the next. One or two
+          committers never see this branch: a lone committer's batches are
+          all singletons, and a committer pair does better ping-ponging —
+          each one's fsync overlaps the other's commit work naturally,
+          while a linger slice costs more than the one fsync it could
+          save. The cap
+          self-tunes to the disk: a beat of one fsync's cost, since beyond
+          that waiting loses to just flushing twice. *)
+       linger_locked t
+         ~cap:(Float.min (Float.max t.last_fsync_s 40e-6) 2e-3)
+         ~max_batch:max_int
+     | _ -> ());
+  let seq = t.batch in
+  let buf = t.active in
+  let ends = List.rev t.frame_ends in
+  (* swap the double buffer: new submissions land in the standby while the
+     batch just taken is on its way to the disk *)
+  t.active <- t.standby;
+  t.standby <- buf;
+  t.frame_ends <- [];
+  t.batch <- seq + 1;
+  Mutex.unlock t.m;
+  (* one [write] and one [fsync] for the whole batch *)
+  let data = Buffer.contents buf in
+  write_frames t ~ends data;
+  let fsync_t0 = Unix.gettimeofday () in
+  Unix.fsync t.fd;
+  t.last_fsync_s <- Unix.gettimeofday () -. fsync_t0;
+  t.n_fsyncs <- t.n_fsyncs + 1;
+  t.last_batch_n <- List.length ends;
+  Buffer.clear buf;
+  Mutex.lock t.m;
+  t.durable_seq <- seq;
+  t.flushing <- false;
+  (* records already waiting prove other committers are in flight — the
+     signal that bootstraps the adaptive linger before any batch has
+     coalesced enough records to speak for itself *)
+  t.backlog <- List.length t.frame_ends;
+  (* wake everyone: this batch's waiters see [durable_seq] and return, and
+     the *next* batch's waiters get their chance to elect a leader. Handing
+     leadership over — rather than this leader flushing the next batch
+     itself — matters for coalescing: the new leader's linger window is one
+     this (just-acknowledged) leader can come back and join with its own
+     next record, which is what lifts two ping-ponging committers out of
+     the one-record-per-fsync rut *)
+  Condition.broadcast t.flushed;
+  Condition.broadcast t.idle
+
+let no_ticket = -1
+
+let submit t record =
+  check_open t "submit";
+  locked t (fun () ->
+      t.n_records <- t.n_records + 1;
+      if buffered t then begin
+        frame_into t t.active record;
+        t.frame_ends <- Buffer.length t.active :: t.frame_ends;
+        t.batch
+      end
+      else begin
+        (* unbuffered policies write the frame now, fsync per policy *)
+        Buffer.clear t.standby;
+        frame_into t t.standby record;
+        let data = Buffer.contents t.standby in
+        Buffer.clear t.standby;
+        write_frames t ~ends:[ String.length data ] data;
+        (match t.sync_policy with
+         | Interval n ->
+           t.pending <- t.pending + 1;
+           if t.pending >= max 1 n then fsync_unlocked t
+         | _ -> ());
+        no_ticket
+      end)
+
+let wait t ticket =
+  if ticket >= 0 then begin
+    Mutex.lock t.m;
+    let rec loop () =
+      if t.durable_seq >= ticket then ()
+      else if t.flushing then begin
+        Condition.wait t.flushed t.m;
+        loop ()
+      end
+      else begin
+        (* leader election: this waiter flushes everything pending *)
+        flush_locked t;
+        loop ()
+      end
+    in
+    (* on a crash-injected exception the leader dies mid-flush, as the
+       process would — the handle is left wedged, not unlocked-and-retried *)
+    loop ();
+    Mutex.unlock t.m
+  end
+
+let append t record = wait t (submit t record)
+
+(* Drain any pending batch without lingering; caller holds [m]. *)
+let drain_locked t =
+  while t.flushing do
+    Condition.wait t.idle t.m
+  done;
+  if t.frame_ends <> [] then flush_locked ~linger:false t
+
+let sync t =
+  check_open t "sync";
+  locked t (fun () ->
+      if buffered t then drain_locked t else ();
+      fsync_unlocked t)
 
 let reset t =
   check_open t "reset";
-  Unix.ftruncate t.fd 0;
-  t.bytes <- 0;
-  t.pending <- 0;
-  fsync t
+  locked t (fun () ->
+      drain_locked t;
+      Buffer.clear t.active;
+      Buffer.clear t.standby;
+      t.frame_ends <- [];
+      Unix.ftruncate t.fd 0;
+      t.bytes <- 0;
+      t.pending <- 0;
+      fsync_unlocked t)
 
 let close t =
   if not t.closed then begin
+    (try locked t (fun () -> if buffered t then drain_locked t) with _ -> ());
     (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
     Unix.close t.fd;
     t.closed <- true

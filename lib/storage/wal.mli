@@ -1,4 +1,4 @@
-(** Durable write-ahead object log.
+(** Durable write-ahead object log with leader/follower group commit.
 
     An append-only file of opaque records, each framed as
 
@@ -11,44 +11,92 @@
     Recovery ({!replay}) accepts the longest valid prefix: it stops at the
     first record whose frame is truncated or whose CRC fails and (by
     default) truncates that torn tail in place — a crash mid-append must
-    never reject the log wholesale, only lose the record being written.
+    never reject the log wholesale, only lose the record(s) being written.
 
-    Durability is governed by a group-commit policy: [Always] fsyncs every
-    append, [Interval n] fsyncs every [n]-th append (batching commits into
-    one disk flush), [Never] leaves flushing to the OS. Appends are single
-    [write] syscalls, so even [Never] keeps whole-record atomicity against
-    process death; the policy only decides what survives power loss. *)
+    {2 Group commit}
+
+    The log is safe for concurrent appenders (multiple domains). Under
+    [Always] and [Group], appends run a two-phase leader/follower protocol:
+    {!submit} frames the record into an in-memory batch (no syscall), and
+    {!wait} blocks until that record is durable. The first waiter of a
+    non-durable batch elects itself leader, swaps the batch out (double
+    buffering — later submissions keep accumulating while the leader is on
+    the disk), writes {e every} pending frame in a single [write], fsyncs
+    once, and wakes all waiters. The invariant: {!wait} never returns
+    before the record of its ticket is written {e and} fsynced, so no
+    committer is acknowledged before its record is durable, yet [n]
+    concurrent committers share one [write] and one [fsync].
+
+    Under [Interval]/[Never], {!submit} writes the frame immediately (one
+    [write] syscall per record, whole-record atomicity against process
+    death preserved) and {!wait} is a no-op; durability is the policy's
+    batching ([Interval]) or the OS's ([Never]). *)
 
 type sync_policy =
-  | Always          (** fsync after every append — full durability *)
-  | Interval of int (** fsync every n appends — group commit *)
+  | Always          (** every committer durable before ack; concurrent
+                        committers are coalesced into one write+fsync *)
+  | Interval of int (** fsync every n appends — durability lags by < n *)
   | Never           (** no explicit fsync; the OS flushes eventually *)
+  | Group of { max_batch : int; max_delay_us : int }
+  (** like [Always] (ack = durable), but the leader lingers up to
+      [max_delay_us] microseconds for more committers when fewer than
+      [max_batch] records are pending — bigger batches, fewer fsyncs, at
+      the cost of bounded added latency *)
 
 type t
+
+type ticket
+(** A claim on the durability of one submitted record. *)
 
 val open_log : ?sync:sync_policy -> string -> t
 (** Open (creating if absent) the log at [path] for appending; new records
     go after the existing contents. Default policy: [Always]. *)
 
+val submit : t -> string -> ticket
+(** Enqueue one record (thread-safe, non-blocking under [Always]/[Group]:
+    the record is framed into the in-memory batch only). The record is
+    guaranteed on disk once {!wait} on the returned ticket returns. Under
+    [Interval]/[Never] the frame is written (not necessarily fsynced)
+    before [submit] returns and the ticket is already settled. *)
+
+val wait : t -> ticket -> unit
+(** Block until the ticket's record is durable. The first waiter becomes
+    the flush leader: one coalesced [write] + one [fsync] covers every
+    record submitted so far, then all their waiters are released. Crash
+    points (in the leader): ["wal.flush.mid_batch"] (an exact record prefix
+    of a multi-record batch written, then death), ["wal.append.torn"]
+    (write torn mid-frame), ["wal.append.before_sync"] (batch written, not
+    yet fsynced). *)
+
 val append : t -> string -> unit
-(** Append one record and apply the sync policy. Crash points:
-    ["wal.append.torn"] (frame half-written), ["wal.append.before_sync"]
-    (record written, not yet flushed). *)
+(** [submit] + [wait]: append one record and return when the sync policy's
+    durability guarantee holds for it. Thread-safe. *)
 
 val sync : t -> unit
-(** Force an fsync now, regardless of policy. *)
+(** Flush any pending batch and force an fsync now, regardless of policy. *)
 
 val reset : t -> unit
-(** Truncate the log to empty — called after a checkpoint has made its
-    records redundant. *)
+(** Discard any pending batch and truncate the log to empty — called after
+    a checkpoint has made its records redundant. Must not race in-flight
+    commits (the durable database layer holds its commit lock across
+    checkpoints). *)
 
 val path : t -> string
 val policy : t -> sync_policy
 val size : t -> int
-(** Current file size in bytes. *)
+(** Bytes written to the log file so far (excludes frames still in the
+    in-memory batch; all acknowledged records are included). *)
+
+type stats = { records : int; fsyncs : int }
+
+val stats : t -> stats
+(** Lifetime counters of this handle: records submitted and fsyncs issued.
+    [records / fsyncs] is the achieved group-commit batch size — 1.0 means
+    no coalescing happened, higher means committers shared flushes. *)
 
 val close : t -> unit
-(** Flush, fsync and close. Idempotent. *)
+(** Flush any pending batch, fsync and close. Idempotent. Must not race
+    concurrent appenders. *)
 
 type replay_result = {
   records : string list; (** valid records, in append order *)

@@ -119,6 +119,97 @@ let test_wal_bitflip_tail () =
       Alcotest.(check (list string)) "append after repair" [ "first-record"; "fourth" ]
         (Wal.replay path).Wal.records)
 
+(* --- WAL group commit --- *)
+
+let test_wal_submit_wait_coalesce () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "log" in
+      let w = Wal.open_log ~sync:Wal.Always path in
+      (* three submissions before anyone waits: nothing on disk yet *)
+      let t1 = Wal.submit w "one" in
+      let t2 = Wal.submit w "two" in
+      let t3 = Wal.submit w "three" in
+      Alcotest.(check int) "nothing written before wait" 0 (Wal.size w);
+      (* one wait drives the whole batch durable — for every ticket *)
+      Wal.wait w t2;
+      Alcotest.(check int) "whole batch written" (3 * 8 + String.length "onetwothree")
+        (Wal.size w);
+      Wal.wait w t1;
+      Wal.wait w t3;
+      Wal.close w;
+      Alcotest.(check (list string)) "records in submission order"
+        [ "one"; "two"; "three" ]
+        (Wal.replay path).Wal.records)
+
+let test_wal_group_policy_append () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "log" in
+      let w = Wal.open_log ~sync:(Wal.Group { max_batch = 8; max_delay_us = 100 }) path in
+      let records = List.init 10 (fun i -> Printf.sprintf "g%d" i) in
+      List.iter (Wal.append w) records;
+      Wal.close w;
+      Alcotest.(check (list string)) "group policy roundtrip" records
+        (Wal.replay path).Wal.records)
+
+let test_wal_concurrent_appenders () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "log" in
+      let w = Wal.open_log ~sync:(Wal.Group { max_batch = 4; max_delay_us = 200 }) path in
+      let ndomains = 4 and per = 25 in
+      let record d i = Printf.sprintf "d%d-%03d" d i in
+      let domains =
+        List.init ndomains (fun d ->
+            Domain.spawn (fun () ->
+                for i = 0 to per - 1 do
+                  Wal.append w (record d i)
+                done))
+      in
+      List.iter Domain.join domains;
+      Wal.close w;
+      let replayed = (Wal.replay path).Wal.records in
+      Alcotest.(check int) "every record durable" (ndomains * per) (List.length replayed);
+      (* each appender's records appear in its own append order — the log is
+         some interleaving of the per-domain sequences, never a reordering *)
+      for d = 0 to ndomains - 1 do
+        let mine = List.filter (fun r -> r.[1] = Char.chr (Char.code '0' + d)) replayed in
+        Alcotest.(check (list string))
+          (Printf.sprintf "domain %d order preserved" d)
+          (List.init per (record d))
+          mine
+      done)
+
+let test_wal_crash_mid_batch () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "log" in
+      let w = Wal.open_log ~sync:Wal.Always path in
+      let tickets = List.map (Wal.submit w) [ "r0"; "r1"; "r2"; "r3" ] in
+      Fault.arm "wal.flush.mid_batch";
+      (match Wal.wait w (List.hd tickets) with
+       | exception Fault.Crash _ -> ()
+       | () -> Alcotest.fail "mid-batch crash did not fire");
+      Fault.reset ();
+      (* the leader died after an exact prefix of the coalesced batch hit the
+         file: recovery sees whole records, no torn tail to repair *)
+      let r = Wal.replay path in
+      Alcotest.(check (list string)) "exact record prefix" [ "r0"; "r1" ] r.Wal.records;
+      Alcotest.(check int) "no torn bytes" 0 r.Wal.torn_bytes)
+
+let test_wal_crash_before_sync_multi () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "log" in
+      let w = Wal.open_log ~sync:Wal.Always path in
+      let tickets = List.map (Wal.submit w) [ "s0"; "s1"; "s2" ] in
+      Fault.arm "wal.append.before_sync";
+      (match Wal.wait w (List.nth tickets 2) with
+       | exception Fault.Crash _ -> ()
+       | () -> Alcotest.fail "before-sync crash did not fire");
+      Fault.reset ();
+      (* the whole coalesced write reached the file; only the fsync was lost —
+         every record of the batch replays (none was acknowledged, so
+         replaying them is allowed; losing them would also have been) *)
+      Alcotest.(check (list string)) "batch written before crash" [ "s0"; "s1"; "s2" ]
+        (Wal.replay path).Wal.records)
+
 (* --- satellite bugfix: atomic save --- *)
 
 let test_save_atomic_on_crash () =
@@ -386,23 +477,28 @@ let test_durable_fsync_policies () =
            Alcotest.(check int) "all commits recovered" 7
              (Db.digest (Db.durable_db d')).Spitz_ledger.Journal.size;
            Db.close_durable d'))
-    [ Wal.Always; Wal.Interval 3; Wal.Never ]
+    [ Wal.Always; Wal.Interval 3; Wal.Never;
+      Wal.Group { max_batch = 4; max_delay_us = 200 } ]
 
 (* --- kill-at-every-crash-point recovery --- *)
 
 (* Each site maps to the number of commits that must survive when the crash
    hits while committing the (n+1)-th key: before the log record is written
    (or while it is half-written) the commit is lost; once the record is on
-   disk the commit is durable. *)
+   disk the commit is durable. Under group commit the record is only
+   *submitted* (framed in memory) inside the serial section —
+   [commit.after_submit] dies with the record still unwritten and
+   unacknowledged, so it must be absent after recovery; [commit.acked]
+   dies after the durability wait returned, so it must always survive. *)
 let commit_crash_sites =
   [ ("commit.before_wal", 5); ("wal.append.torn", 5); ("wal.append.before_sync", 6);
-    ("commit.after_wal", 6) ]
+    ("commit.after_submit", 5); ("commit.acked", 6) ]
 
-let test_crash_during_commit () =
+let crash_during_commit ~sync () =
   List.iter
     (fun (site, survive) ->
        with_dir (fun dir ->
-           let d = Db.open_durable ~sync:Wal.Always dir in
+           let d = Db.open_durable ~sync dir in
            let db = Db.durable_db d in
            for i = 0 to 4 do
              ignore (Db.put db (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i))
@@ -435,6 +531,13 @@ let test_crash_during_commit () =
            ignore (Db.put db' "post" "crash");
            Db.close_durable d'))
     commit_crash_sites
+
+(* The same survivor matrix must hold under both ack-equals-durable
+   policies: plain [Always] and lingering [Group] batches. *)
+let test_crash_during_commit () = crash_during_commit ~sync:Wal.Always ()
+
+let test_crash_during_commit_group () =
+  crash_during_commit ~sync:(Wal.Group { max_batch = 4; max_delay_us = 200 }) ()
 
 let checkpoint_crash_sites =
   [ "checkpoint.begin"; "save.before_rename"; "checkpoint.after_rename" ]
@@ -522,12 +625,112 @@ let test_durable_corrupt_log_record () =
         (Db.get db' "k0");
       Db.close_durable d')
 
+(* --- concurrent committers on the durable path --- *)
+
+let run_concurrent_commits db ~ndomains ~per =
+  let key d i = Printf.sprintf "c%d-%03d" d i in
+  let domains =
+    List.init ndomains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              ignore (Db.put db (key d i) (Printf.sprintf "v%d-%d" d i))
+            done))
+  in
+  List.iter Domain.join domains;
+  key
+
+let test_durable_concurrent_committers () =
+  List.iter
+    (fun sync ->
+       with_dir (fun dir ->
+           let ndomains = 4 and per = 10 in
+           let d = Db.open_durable ~sync dir in
+           let db = Db.durable_db d in
+           let key = run_concurrent_commits db ~ndomains ~per in
+           let digest = Db.digest db in
+           Alcotest.(check int) "every commit is a block" (ndomains * per)
+             digest.Spitz_ledger.Journal.size;
+           Alcotest.(check bool) "live audit" true (Db.audit db);
+           Db.close_durable d;
+           (* every acknowledged commit must recover, bit-identically *)
+           let d' = Db.open_durable dir in
+           let db' = Db.durable_db d' in
+           Alcotest.(check bool) "digest identical after recovery" true
+             (Spitz_crypto.Hash.equal digest.Spitz_ledger.Journal.root
+                (Db.digest db').Spitz_ledger.Journal.root);
+           for dd = 0 to ndomains - 1 do
+             for i = 0 to per - 1 do
+               Alcotest.(check (option string))
+                 (Printf.sprintf "key %s" (key dd i))
+                 (Some (Printf.sprintf "v%d-%d" dd i))
+                 (Db.get db' (key dd i))
+             done
+           done;
+           Alcotest.(check bool) "recovered audit" true (Db.audit db');
+           Db.close_durable d'))
+    [ Wal.Always; Wal.Group { max_batch = 4; max_delay_us = 200 } ]
+
+let test_durable_concurrent_torn_tail () =
+  with_dir (fun dir ->
+      let d = Db.open_durable ~sync:(Wal.Group { max_batch = 4; max_delay_us = 200 }) dir in
+      let db = Db.durable_db d in
+      let (_ : int -> int -> string) = run_concurrent_commits db ~ndomains:4 ~per:5 in
+      Db.close_durable d;
+      (* rip the tail off the log a concurrent run produced: the torn last
+         record is dropped, everything before it recovers and audits *)
+      let wal = Filename.concat dir "wal" in
+      Fault.truncate_file wal (Fault.file_size wal - 5);
+      let d' = Db.open_durable dir in
+      let db' = Db.durable_db d' in
+      Alcotest.(check int) "exactly the torn commit lost" 19
+        (Db.digest db').Spitz_ledger.Journal.size;
+      Alcotest.(check bool) "chain verifies" true (Db.audit db');
+      ignore (Db.put db' "post" "torn");
+      Db.close_durable d';
+      let d'' = Db.open_durable dir in
+      Alcotest.(check int) "accepts commits after repair" 20
+        (Db.digest (Db.durable_db d'')).Spitz_ledger.Journal.size;
+      Db.close_durable d'')
+
+let test_durable_concurrent_checkpoint () =
+  with_dir (fun dir ->
+      (* checkpoints interleaved with concurrent committers: the commit lock
+         makes each snapshot a block boundary, so nothing is ever lost *)
+      let d = Db.open_durable ~sync:Wal.Always dir in
+      let db = Db.durable_db d in
+      let committers =
+        List.init 3 (fun dd ->
+            Domain.spawn (fun () ->
+                for i = 0 to 9 do
+                  ignore (Db.put db (Printf.sprintf "p%d-%d" dd i) "v")
+                done))
+      in
+      for _ = 1 to 5 do
+        Db.checkpoint d
+      done;
+      List.iter Domain.join committers;
+      let digest = Db.digest db in
+      Alcotest.(check int) "all commits landed" 30 digest.Spitz_ledger.Journal.size;
+      Db.close_durable d;
+      let d' = Db.open_durable dir in
+      let db' = Db.durable_db d' in
+      Alcotest.(check bool) "digest identical" true
+        (Spitz_crypto.Hash.equal digest.Spitz_ledger.Journal.root
+           (Db.digest db').Spitz_ledger.Journal.root);
+      Alcotest.(check bool) "audit" true (Db.audit db');
+      Db.close_durable d')
+
 let suite =
   [
     Alcotest.test_case "crc32 check value" `Quick test_crc32_check_value;
     Alcotest.test_case "wal roundtrip" `Quick test_wal_roundtrip;
     Alcotest.test_case "wal torn tail at every offset" `Quick test_wal_torn_tail_every_offset;
     Alcotest.test_case "wal bit flip truncates tail" `Quick test_wal_bitflip_tail;
+    Alcotest.test_case "wal submit/wait coalesces a batch" `Quick test_wal_submit_wait_coalesce;
+    Alcotest.test_case "wal group policy roundtrip" `Quick test_wal_group_policy_append;
+    Alcotest.test_case "wal concurrent appenders" `Quick test_wal_concurrent_appenders;
+    Alcotest.test_case "wal crash mid coalesced batch" `Quick test_wal_crash_mid_batch;
+    Alcotest.test_case "wal crash before batch fsync" `Quick test_wal_crash_before_sync_multi;
     Alcotest.test_case "save is atomic under crash" `Quick test_save_atomic_on_crash;
     Alcotest.test_case "varint overflow rejected" `Quick test_varint_overflow_rejected;
     Alcotest.test_case "negative length rejected" `Quick test_negative_length_rejected;
@@ -543,7 +746,13 @@ let suite =
       test_durable_large_values_and_batches;
     Alcotest.test_case "durable fsync policies" `Quick test_durable_fsync_policies;
     Alcotest.test_case "crash at every commit site" `Quick test_crash_during_commit;
+    Alcotest.test_case "crash at every commit site (group)" `Quick
+      test_crash_during_commit_group;
     Alcotest.test_case "crash at every checkpoint site" `Quick test_crash_during_checkpoint;
     Alcotest.test_case "torn log tail recovers" `Quick test_durable_torn_log_file;
     Alcotest.test_case "corrupt log record recovers" `Quick test_durable_corrupt_log_record;
+    Alcotest.test_case "concurrent committers recover" `Quick
+      test_durable_concurrent_committers;
+    Alcotest.test_case "concurrent run + torn tail" `Quick test_durable_concurrent_torn_tail;
+    Alcotest.test_case "checkpoint races committers" `Quick test_durable_concurrent_checkpoint;
   ]
