@@ -476,6 +476,91 @@ let check_concurrent_commits (tr : Trace.trace) =
     end
   end
 
+(* Concurrent readers against a commit storm: every verified snapshot read
+   must be internally consistent (digest size = pinned height + 1 — the torn
+   head regression), its proof must verify against the snapshot's own digest,
+   and — checked after the storm settles — the value observed at the pinned
+   height must equal the committed prefix state [Db.get_at] reports for that
+   height. Readers also exercise the head path ([Db.get_verified]) and check
+   its proof against the proof's own anchor digest. *)
+let check_concurrent_reads (tr : Trace.trace) =
+  let batches =
+    List.filter_map (function Trace.Commit ws -> Some ws | Trace.Reopen -> None) tr.steps
+  in
+  match batches with
+  | [] -> ()
+  | first :: rest ->
+    let db = Db.open_db () in
+    (* seed block: a snapshot exists before the storm starts *)
+    ignore (Db.commit db (writes_of first));
+    let probe =
+      match
+        Model.keys_touched (List.fold_left Model.commit Model.empty batches)
+      with
+      | [] -> [ Trace.key 0 ]
+      | ks -> List.map Trace.key ks
+    in
+    let nprobe = List.length probe in
+    let ncommitters = 2 in
+    let slices =
+      List.init ncommitters (fun c ->
+          List.filteri (fun i _ -> i mod ncommitters = c) rest)
+    in
+    let live = Atomic.make ncommitters in
+    let committers =
+      List.map
+        (fun slice ->
+           Domain.spawn (fun () ->
+               List.iter (fun ws -> ignore (Db.commit db (writes_of ws))) slice;
+               Atomic.decr live))
+        slices
+    in
+    let reader () =
+      let obs = ref [] in
+      let i = ref 0 in
+      (* keep reading as long as any committer runs; bounded so a trace with
+         no remaining batches still terminates promptly *)
+      while Atomic.get live > 0 || !i < 50 do
+        if !i > 5000 then fail "reader starved: committers never finished";
+        (match Db.snapshot db with
+         | None -> fail "no snapshot after the seed commit"
+         | Some s ->
+           let h = Db.Snapshot.height s in
+           let d = Db.Snapshot.digest s in
+           if d.Spitz_ledger.Journal.size <> h + 1 then
+             fail "torn snapshot: digest size %d at pinned height %d"
+               d.Spitz_ledger.Journal.size h;
+           let key = List.nth probe (!i mod nprobe) in
+           let v, p = Db.Snapshot.get_verified s key in
+           if not (Db.verify_read ~digest:d ~key ~value:v p) then
+             fail "snapshot proof for %S does not verify at height %d" key h;
+           obs := (h, key, v) :: !obs;
+           (* head path: the proof must verify against its own anchor *)
+           let hv, hp = Db.get_verified db key in
+           (match hp with
+            | None -> fail "head read of %S returned no proof" key
+            | Some hp ->
+              if not
+                   (Db.verify_read ~digest:hp.Db.L.rp_digest ~key ~value:hv hp)
+              then fail "head proof for %S does not verify" key));
+        incr i
+      done;
+      !obs
+    in
+    let readers = List.init 2 (fun _ -> Domain.spawn reader) in
+    let observations = List.concat_map Domain.join readers in
+    List.iter Domain.join committers;
+    (* every observation matches the committed prefix state at its height *)
+    List.iter
+      (fun (h, key, v) ->
+         let expect = Db.get_at db ~height:h key in
+         if v <> expect then
+           fail "reader saw %s for %S at height %d; committed state says %s"
+             (opt_str v) key h (opt_str expect))
+      observations;
+    if Db.L.height (Spitz.Auditor.ledger (Db.auditor db)) <> List.length batches
+    then fail "commit storm lost blocks"
+
 let check_digest_stability (tr : Trace.trace) =
   with_temp_file @@ fun tmp ->
   let first = replay_digest tr in

@@ -47,6 +47,16 @@ val check_concurrent_commits : Trace.trace -> unit
     that order; and, on small traces, that brute-force permutation
     enumeration also finds a matching serial order. *)
 
+val check_concurrent_reads : Trace.trace -> unit
+(** Linearizability of the lock-free read path: reader domains pin
+    {!Spitz.Db.snapshot}s and serve verified reads while committer domains
+    race the trace's batches through [Db.commit]. Asserts every snapshot is
+    internally consistent (digest size equals pinned height + 1 — the torn
+    head-read regression), every proof verifies against its snapshot's own
+    digest, every observed (height, key, value) matches the committed prefix
+    state [Db.get_at] reports once the storm settles, and head-path proofs
+    verify against their own anchors. *)
+
 val check_digest_stability : Trace.trace -> unit
 (** The digest is a pure function of the committed history: replaying the
     same trace twice — and through a save/load round-trip — yields identical

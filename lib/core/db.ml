@@ -169,6 +169,88 @@ let search_value t value =
     List.filter_map Universal_key.decode
       (Spitz_index.Inverted.lookup inv (Spitz_index.Inverted.Str value))
 
+(* --- Snapshot reads: the concurrent read path ---
+
+   A snapshot pins one committed block state — the ledger's atomically
+   published head view plus the object-store deletion generation at pin
+   time. Everything below runs without [commit_lock]: the ledger part is an
+   immutable record, and the store/cache layers are domain-safe, so any
+   number of reader domains serve verified gets and scans while committers
+   append blocks. *)
+
+type snapshot = {
+  snap : L.snapshot;
+  snap_store : Object_store.t;
+  snap_gen : int; (* store deletion generation at pin time *)
+}
+
+let snapshot ?height t =
+  let pin ls =
+    { snap = ls; snap_store = t.store; snap_gen = Object_store.generation t.store }
+  in
+  match height with
+  | None -> Option.map pin (L.snapshot (Auditor.ledger t.auditor))
+  | Some height ->
+    (* pinning an older block walks the journal's mutable tree — serialize
+       against commits; the returned snapshot is then lock-free to read *)
+    Mutex.lock t.commit_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.commit_lock)
+      (fun () -> Some (pin (L.snapshot_at (Auditor.ledger t.auditor) ~height)))
+
+module Snapshot = struct
+  let height s = L.snapshot_height s.snap
+  let digest s = L.snapshot_digest s.snap
+  let index_root s = L.snapshot_root s.snap
+
+  let valid s = Object_store.generation s.snap_store = s.snap_gen
+
+  let get s key = L.snap_get s.snap key
+  let get_verified s key = L.snap_get_with_proof s.snap key
+  let get_batch_verified s keys = L.snap_get_batch_with_proof s.snap keys
+  let range_verified s ~lo ~hi = L.snap_range_with_proof s.snap ~lo ~hi
+
+  (* Keys per pool task below which the handoff costs more than it saves. *)
+  let parallel_threshold = 16
+
+  let get_batch ?pool s keys =
+    match pool with
+    | Some pool
+      when Spitz_exec.Pool.size pool > 1 && List.length keys >= parallel_threshold ->
+      Spitz_exec.Pool.map_list pool (L.snap_get s.snap) keys
+    | _ -> List.map (L.snap_get s.snap) keys
+
+  (* Parallel scan: cut [lo, hi] at index-structure-aligned points and scan
+     the pieces on the pool. Piece [a, b) is an inclusive scan of [a, b]
+     minus the boundary key [b] (owned by the next piece), so the
+     concatenation — [map_list] keeps input order — is exactly the serial
+     scan. Falls back to serial when the index cannot cut (MBT) or no pool
+     is given. *)
+  let range ?pool s ~lo ~hi =
+    match pool with
+    | Some pool when Spitz_exec.Pool.size pool > 1 ->
+      (match
+         L.snap_split_points s.snap ~lo ~hi ~parts:(2 * Spitz_exec.Pool.size pool)
+       with
+       | [] -> L.snap_range s.snap ~lo ~hi
+       | points ->
+         let rec pieces a = function
+           | [] -> [ (a, hi, None) ]
+           | p :: rest -> (a, p, Some p) :: pieces p rest
+         in
+         let scan (a, b, boundary) =
+           let entries = L.snap_range s.snap ~lo:a ~hi:b in
+           match boundary with
+           | None -> entries
+           | Some x -> List.filter (fun (k, _) -> not (String.equal k x)) entries
+         in
+         List.concat (Spitz_exec.Pool.map_list pool scan (pieces lo points)))
+    | _ -> L.snap_range s.snap ~lo ~hi
+end
+
+let proof_cache_stats () = L.proof_cache_stats ()
+let reset_proof_cache_stats () = L.reset_proof_cache_stats ()
+
 (* --- Verification surface --- *)
 
 let digest t = Auditor.digest t.auditor

@@ -102,6 +102,69 @@ val history : t -> string -> (int * string) list
 (** Every committed version of a key as (block height, value), oldest
     first. *)
 
+(** {1 Snapshot reads — the concurrent read path}
+
+    A {!snapshot} pins exactly one committed block state: the ledger head
+    view the serial commit section published last (header, digest,
+    precomputed journal inclusion proof, index instance) plus the object
+    store's deletion generation. Pinning the latest state is one atomic
+    load — no lock — and every read through the snapshot runs outside
+    [commit_lock], concurrently with any number of committers and other
+    readers. Proofs verify against {!Snapshot.digest}, the digest as of the
+    pinned block. *)
+
+type snapshot
+
+val snapshot : ?height:int -> t -> snapshot option
+(** Pin the latest committed state ([None] on an empty database); lock-free
+    and safe from any domain. With [height], pin the state as of an older
+    block instead — that form briefly takes the commit lock and raises
+    [Invalid_argument] when out of range (or if the instance was compacted
+    away, reads will subsequently fail). *)
+
+val proof_cache_stats : unit -> Spitz_storage.Node_cache.stats
+(** Hit/miss/eviction counters of the server-side proof cache (memoized
+    get/batch/range proof construction, keyed by index root + key set). *)
+
+val reset_proof_cache_stats : unit -> unit
+
+module Snapshot : sig
+  val height : snapshot -> int
+  (** The pinned block's height. *)
+
+  val digest : snapshot -> Journal.digest
+  (** What the snapshot's proofs verify against. *)
+
+  val index_root : snapshot -> Spitz_crypto.Hash.t
+
+  val valid : snapshot -> bool
+  (** [true] while no deletion (compaction, release) has touched the store
+      since the snapshot was pinned — pinned objects are guaranteed still
+      present. A snapshot can outlive this (reads may still succeed if its
+      instance was retained); [valid] is the conservative check. *)
+
+  val get : snapshot -> string -> string option
+  val get_batch : ?pool:Spitz_exec.Pool.t -> snapshot -> string list -> string option list
+  (** Values in input order. With [pool], keys are looked up in parallel on
+      it (same answers, deterministic order, at any pool size). *)
+
+  val range :
+    ?pool:Spitz_exec.Pool.t -> snapshot -> lo:string -> hi:string -> (string * string) list
+  (** Entries in key order. With [pool], the range is cut at
+      index-structure-aligned points and the pieces are scanned in
+      parallel; the result is identical to the serial scan at any pool
+      size. *)
+
+  val get_verified : snapshot -> string -> string option * L.read_proof
+  val get_batch_verified :
+    snapshot -> string list -> string option list * L.batch_read_proof
+  val range_verified :
+    snapshot -> lo:string -> hi:string -> (string * string) list * L.read_proof
+  (** Verified reads from the pinned state; proof construction is memoized
+      in the server-side proof cache. No [option] on the proof: a snapshot
+      only exists for a non-empty ledger. *)
+end
+
 val search_value : t -> string -> Universal_key.t list
 (** Inverted-index lookup: cells currently or historically holding exactly
     this value (requires [with_inverted]). *)

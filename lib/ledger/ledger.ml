@@ -25,6 +25,23 @@ let untag = function
 type write = Put of string * string | Delete of string
 
 module Make (Index : Siri.S) = struct
+  (* An immutable view of the ledger as of one committed block — everything
+     a read needs, captured in one record: the block header (whose
+     index_root anchors the SIRI proofs), the journal inclusion proof and
+     digest (precomputed, so readers never touch the journal's mutable
+     Merkle tree), and the index instance itself. Published with a single
+     [Atomic.set] as the last step of the serial commit section, so any
+     domain that [Atomic.get]s it observes exactly one committed block
+     state — never a block whose instance slot is not yet written, and
+     never a header/digest pair straddling two commits. *)
+  type snapshot = {
+    s_height : int;                       (* the block this view pins *)
+    s_header : Block.header;
+    s_journal : Merkle.inclusion_proof;   (* of s_height in the digest's tree *)
+    s_digest : Journal.digest;            (* what proofs verify against *)
+    s_index : Index.t;
+  }
+
   type t = {
     store : Object_store.t;
     journal : Journal.t;
@@ -35,6 +52,8 @@ module Make (Index : Siri.S) = struct
     mutable on_commit : (height:int -> body:Spitz_crypto.Hash.t -> Block.t -> unit) option;
     (* durability hook: fires once per committed block, after the journal
        append — the write-ahead log's attachment point *)
+    head : snapshot option Atomic.t;
+    (* the latest committed view; what every concurrent read goes through *)
   }
 
   let create ?pool store =
@@ -46,23 +65,55 @@ module Make (Index : Siri.S) = struct
       next_txn = 0;
       pool;
       on_commit = None;
+      head = Atomic.make None;
     }
 
   let set_on_commit t f = t.on_commit <- f
 
   let store t = t.store
   let journal t = t.journal
-  let height t = Journal.length t.journal
-  let digest t = Journal.digest t.journal
+
+  let snapshot t = Atomic.get t.head
+
+  let snapshot_height s = s.s_height
+  let snapshot_digest s = s.s_digest
+  let snapshot_root s = s.s_header.Block.index_root
+
+  (* [height]/[digest]/[current_index] answer from the published head, not
+     the journal's mutable fields, so they are safe to call from reader
+     domains while a commit is in flight (and identical to the journal's
+     answer when no commit is racing). *)
+  let height t = match Atomic.get t.head with None -> 0 | Some s -> s.s_height + 1
+  let digest t =
+    match Atomic.get t.head with
+    | None -> Journal.digest t.journal
+    | Some s -> s.s_digest
 
   let current_index t =
-    let n = Journal.length t.journal in
-    if n = 0 then Index.create t.store else t.instances.(n - 1)
+    match Atomic.get t.head with
+    | None -> Index.create t.store
+    | Some s -> s.s_index
 
   let index_at t ~height =
     if height < 0 || height >= Journal.length t.journal then
       invalid_arg "Ledger.index_at: out of range";
     t.instances.(height)
+
+  (* A pinned view of an older block. Unlike {!snapshot} this walks the
+     journal's mutable Merkle tree to build the inclusion proof, so calls
+     must be externally serialized against commits (Db takes the commit
+     lock). The returned snapshot itself is then safe to read from any
+     domain. *)
+  let snapshot_at t ~height =
+    if height < 0 || height >= Journal.length t.journal then
+      invalid_arg "Ledger.snapshot_at: out of range";
+    {
+      s_height = height;
+      s_header = Journal.header t.journal height;
+      s_journal = Journal.prove_inclusion t.journal height;
+      s_digest = Journal.digest t.journal;
+      s_index = t.instances.(height);
+    }
 
   let fresh_txn t =
     let id = t.next_txn in
@@ -142,6 +193,22 @@ module Make (Index : Siri.S) = struct
       t.instances <- bigger
     end;
     t.instances.(height) <- index;
+    (* Publish the new head view in one atomic store. The inclusion proof is
+       precomputed here, in the serial section, because the journal's Merkle
+       tree is mutable — readers must never walk it while an append runs.
+       This is also the fix for the torn read the old path had: readers used
+       to load [Journal.length] and then [instances.(n-1)] separately, and a
+       commit between the two loads (length bumped before the slot write)
+       served them a stale instance under a new header. *)
+    Atomic.set t.head
+      (Some
+         {
+           s_height = height;
+           s_header = block.Block.header;
+           s_journal = Journal.prove_inclusion t.journal height;
+           s_digest = Journal.digest t.journal;
+           s_index = index;
+         });
     (match t.on_commit with
      | None -> ()
      | Some f -> f ~height ~body:(Journal.body_hash t.journal height) block);
@@ -174,35 +241,126 @@ module Make (Index : Siri.S) = struct
     rp_index : Siri.proof;
   }
 
-  let proof_envelope t ~height rp_index =
+  (* --- Server-side proof cache --- *)
+
+  (* Proof construction (the index-path half of a read proof) is memoized,
+     keyed by [(index root, key set)]. The root is a content address, so an
+     entry can never go stale: a commit produces a new root, and the new
+     root is a new cache key — that *is* the invalidation protocol, with no
+     commit-path bookkeeping. Entries under superseded roots keep serving
+     snapshot readers pinned at those roots until LRU pressure ages them
+     out. One cache per proof shape, shared by every ledger instance of
+     this index family (sound by the same content-addressing argument). *)
+  let get_proof_cache : (string option * Siri.proof) Node_cache.t =
+    Node_cache.create ~capacity:8192 ()
+
+  let batch_proof_cache : (string option list * Siri.proof) Node_cache.t =
+    Node_cache.create ~capacity:2048 ()
+
+  let range_proof_cache : ((string * string) list * Siri.proof) Node_cache.t =
+    Node_cache.create ~capacity:512 ()
+
+  let proof_cache_stats () =
+    let a = Node_cache.stats get_proof_cache in
+    let b = Node_cache.stats batch_proof_cache in
+    let c = Node_cache.stats range_proof_cache in
     {
-      rp_height = height;
-      rp_header = Journal.header t.journal height;
-      rp_journal = Journal.prove_inclusion t.journal height;
-      rp_digest = Journal.digest t.journal;
+      Node_cache.hits = a.Node_cache.hits + b.Node_cache.hits + c.Node_cache.hits;
+      misses = a.Node_cache.misses + b.Node_cache.misses + c.Node_cache.misses;
+      evictions = a.Node_cache.evictions + b.Node_cache.evictions + c.Node_cache.evictions;
+    }
+
+  let reset_proof_cache_stats () =
+    Node_cache.reset_stats get_proof_cache;
+    Node_cache.reset_stats batch_proof_cache;
+    Node_cache.reset_stats range_proof_cache
+
+  let clear_proof_cache () =
+    Node_cache.clear get_proof_cache;
+    Node_cache.clear batch_proof_cache;
+    Node_cache.clear range_proof_cache
+
+  (* Cache keys hash a domain tag, the 32-byte root, and the length-prefixed
+     key material — unambiguous, so two distinct key sets cannot collide
+     except by breaking SHA-256. *)
+  let len_pfx s = string_of_int (String.length s) ^ ":"
+
+  let get_cache_key ~root key = Hash.of_strings [ "spitz.proof.get"; Hash.to_raw root; key ]
+
+  let batch_cache_key ~root keys =
+    Hash.of_strings
+      ("spitz.proof.batch" :: Hash.to_raw root
+       :: List.concat_map (fun k -> [ len_pfx k; k ]) keys)
+
+  let range_cache_key ~root ~lo ~hi =
+    Hash.of_strings [ "spitz.proof.range"; Hash.to_raw root; len_pfx lo; lo; len_pfx hi; hi ]
+
+  (* --- Snapshot reads --- *)
+
+  (* Every verified read is served from a pinned snapshot: the envelope is
+     assembled purely from the snapshot's own fields (header, precomputed
+     inclusion proof, digest), and the index traversal runs against its
+     immutable instance — no journal state, no instance array, no lock. The
+     proofs verify against [snapshot_digest s], the digest as of the pinned
+     block. *)
+
+  let snap_envelope s rp_index =
+    {
+      rp_height = s.s_height;
+      rp_header = s.s_header;
+      rp_journal = s.s_journal;
+      rp_digest = s.s_digest;
       rp_index;
     }
 
+  let snap_get s key =
+    match Index.get s.s_index key with
+    | None -> None
+    | Some tagged -> untag tagged
+
+  let snap_range s ~lo ~hi =
+    List.filter_map
+      (fun (k, tagged) -> Option.map (fun v -> (k, v)) (untag tagged))
+      (Index.range s.s_index ~lo ~hi)
+
+  let snap_split_points s ~lo ~hi ~parts = Index.split_points s.s_index ~lo ~hi ~parts
+
+  let snap_get_with_proof s key =
+    let tagged, rp_index =
+      Node_cache.find_or_add get_proof_cache
+        (get_cache_key ~root:s.s_header.Block.index_root key)
+        ~load:(fun () -> Index.get_with_proof s.s_index key)
+    in
+    (Option.bind tagged untag, snap_envelope s rp_index)
+
+  let snap_range_with_proof s ~lo ~hi =
+    let visible, rp_index =
+      Node_cache.find_or_add range_proof_cache
+        (range_cache_key ~root:s.s_header.Block.index_root ~lo ~hi)
+        ~load:(fun () ->
+          let entries, rp_index = Index.range_with_proof s.s_index ~lo ~hi in
+          let visible =
+            List.filter_map
+              (fun (k, tagged) -> Option.map (fun v -> (k, v)) (untag tagged))
+              entries
+          in
+          (visible, rp_index))
+    in
+    (visible, snap_envelope s rp_index)
+
   let get_with_proof t key =
-    let n = Journal.length t.journal in
-    if n = 0 then (None, None)
-    else begin
-      let height = n - 1 in
-      let tagged, rp_index = Index.get_with_proof t.instances.(height) key in
-      (Option.bind tagged untag, Some (proof_envelope t ~height rp_index))
-    end
+    match snapshot t with
+    | None -> (None, None)
+    | Some s ->
+      let v, p = snap_get_with_proof s key in
+      (v, Some p)
 
   let range_with_proof t ~lo ~hi =
-    let n = Journal.length t.journal in
-    if n = 0 then ([], None)
-    else begin
-      let height = n - 1 in
-      let entries, rp_index = Index.range_with_proof t.instances.(height) ~lo ~hi in
-      let visible =
-        List.filter_map (fun (k, tagged) -> Option.map (fun v -> (k, v)) (untag tagged)) entries
-      in
-      (visible, Some (proof_envelope t ~height rp_index))
-    end
+    match snapshot t with
+    | None -> ([], None)
+    | Some s ->
+      let entries, p = snap_range_with_proof s ~lo ~hi in
+      (entries, Some p)
 
   (* Client side: check the block under the journal digest, then the value
      under the block's index root. A [None] result must be proven as either
@@ -237,22 +395,27 @@ module Make (Index : Siri.S) = struct
     brp_index : Siri.proof;       (* one deduplicated proof covering every key *)
   }
 
+  let snap_get_batch_with_proof s keys =
+    let tagged, brp_index =
+      Node_cache.find_or_add batch_proof_cache
+        (batch_cache_key ~root:s.s_header.Block.index_root keys)
+        ~load:(fun () -> Index.prove_batch s.s_index keys)
+    in
+    ( List.map (fun tv -> Option.bind tv untag) tagged,
+      {
+        brp_height = s.s_height;
+        brp_header = s.s_header;
+        brp_journal = s.s_journal;
+        brp_digest = s.s_digest;
+        brp_index;
+      } )
+
   let get_batch_with_proof t keys =
-    let n = Journal.length t.journal in
-    if n = 0 then (List.map (fun _ -> None) keys, None)
-    else begin
-      let height = n - 1 in
-      let tagged, brp_index = Index.prove_batch t.instances.(height) keys in
-      ( List.map (fun tv -> Option.bind tv untag) tagged,
-        Some
-          {
-            brp_height = height;
-            brp_header = Journal.header t.journal height;
-            brp_journal = Journal.prove_inclusion t.journal height;
-            brp_digest = Journal.digest t.journal;
-            brp_index;
-          } )
-    end
+    match snapshot t with
+    | None -> (List.map (fun _ -> None) keys, None)
+    | Some s ->
+      let values, p = snap_get_batch_with_proof s keys in
+      (values, Some p)
 
   let verify_batch_anchor ~digest proof =
     Journal.verify_inclusion ~digest ~height:proof.brp_height ~header:proof.brp_header
@@ -512,6 +675,10 @@ module Make (Index : Siri.S) = struct
            (fun (e : Block.entry) -> t.next_txn <- max t.next_txn (e.Block.txn_id + 1))
            block.entries)
       bodies;
+    (* publish the head view the replayed chain ends at *)
+    (match Journal.length t.journal with
+     | 0 -> ()
+     | n -> Atomic.set t.head (Some (snapshot_at t ~height:(n - 1))));
     t
 end
 

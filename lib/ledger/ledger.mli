@@ -113,6 +113,73 @@ module Make (Index : Siri.S) : sig
   (** The two halves of {!verify_batch_read}, mirroring
       {!verify_read_anchor} / {!verify_read_at_root}. *)
 
+  (** {1 Snapshot reads}
+
+      A {!snapshot} is an immutable view of the ledger as of one committed
+      block: the block header, the journal digest and a precomputed
+      inclusion proof, and the block's index instance. {!snapshot} is one
+      atomic load of the view the serial commit section published last — so
+      a reader holding it observes exactly one committed block state, and
+      every read below runs without any lock, concurrently with committers.
+      Proofs obtained from a snapshot verify against {!snapshot_digest} (the
+      digest as of the pinned block, not whatever the ledger head moved on
+      to). *)
+
+  type snapshot
+
+  val snapshot : t -> snapshot option
+  (** The latest committed view ([None] before the first commit). Lock-free;
+      safe from any domain. *)
+
+  val snapshot_at : t -> height:int -> snapshot
+  (** Pin the view of an older block. Walks the journal's mutable Merkle
+      tree, so calls must be serialized against commits (the Db layer holds
+      its commit lock); the returned snapshot is then safe to read from any
+      domain. Raises [Invalid_argument] when out of range. *)
+
+  val snapshot_height : snapshot -> int
+  val snapshot_digest : snapshot -> Journal.digest
+  val snapshot_root : snapshot -> Hash.t
+  (** The pinned block's index root — what the snapshot's SIRI proofs hang
+      from. *)
+
+  val snap_get : snapshot -> string -> string option
+  val snap_range : snapshot -> lo:string -> hi:string -> (string * string) list
+
+  val snap_split_points :
+    snapshot -> lo:string -> hi:string -> parts:int -> string list
+  (** [Siri.S.split_points] of the pinned instance — cut points a parallel
+      range scan fans out over. *)
+
+  val snap_get_with_proof : snapshot -> string -> string option * read_proof
+  val snap_get_batch_with_proof :
+    snapshot -> string list -> string option list * batch_read_proof
+  val snap_range_with_proof :
+    snapshot -> lo:string -> hi:string -> (string * string) list * read_proof
+  (** Reads against the pinned instance; the [_with_proof] forms consult the
+      proof cache. [get_with_proof] / [get_batch_with_proof] /
+      [range_with_proof] on the ledger are these same functions applied to
+      {!snapshot}. *)
+
+  (** {2 Server-side proof cache}
+
+      Index-path proof construction is memoized keyed by (index root, key
+      set). Roots are content addresses, so a new commit's new root is a new
+      cache key — that is the whole invalidation protocol; entries under
+      superseded roots serve snapshot readers still pinned there until LRU
+      pressure evicts them. The cache is per index family (shared by every
+      ledger instance of this functor instantiation). *)
+
+  val proof_cache_stats : unit -> Spitz_storage.Node_cache.stats
+  (** Merged hit/miss/eviction counters over the get/batch/range proof
+      caches. *)
+
+  val reset_proof_cache_stats : unit -> unit
+
+  val clear_proof_cache : unit -> unit
+  (** Drop every memoized proof (counters kept). Only useful to bound memory
+      or in benchmarks — staleness is impossible by construction. *)
+
   val verify_range :
     digest:Journal.digest -> lo:string -> hi:string ->
     entries:(string * string) list -> read_proof -> bool

@@ -1,7 +1,12 @@
 open Spitz_crypto
 
-(* Mutex-protected LRU: hash table into an intrusive doubly-linked recency
-   list. Hits unlink + push-front; inserts evict from the tail. *)
+(* Lock-striped LRU: the key space is split across [stripes] independent
+   sub-caches by the first byte of the content address (SHA-256 output, so
+   the spread is uniform and independent of [Hash.hash], which Hashtbl uses
+   for bucket selection). Each stripe is the old design — a hash table into
+   an intrusive doubly-linked recency list under its own mutex — so readers
+   on different stripes never contend. Hits unlink + push-front; inserts
+   evict from the stripe's tail. *)
 
 type 'a entry = {
   key : Hash.t;
@@ -11,87 +16,135 @@ type 'a entry = {
 }
 
 type stats = {
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  hits : int;
+  misses : int;
+  evictions : int;
 }
 
-type 'a t = {
-  cap : int;
+type counters = {
+  mutable c_hits : int;
+  mutable c_misses : int;
+  mutable c_evictions : int;
+}
+
+type 'a stripe = {
+  cap : int; (* per-stripe capacity *)
   tbl : 'a entry Hash.Table.t;
   mutable head : 'a entry option; (* most recently used *)
   mutable tail : 'a entry option; (* least recently used *)
   m : Mutex.t;
-  st : stats;
+  st : counters;
 }
 
-let create ?(capacity = 65536) () =
+type 'a t = {
+  total_cap : int;
+  mask : int; (* stripes - 1; stripes is a power of two *)
+  stripes : 'a stripe array;
+}
+
+let default_stripes = 16
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ?(capacity = 65536) ?(stripes = default_stripes) () =
   if capacity < 1 then invalid_arg "Node_cache.create: capacity must be >= 1";
-  { cap = capacity; tbl = Hash.Table.create (min capacity 4096); head = None; tail = None;
-    m = Mutex.create (); st = { hits = 0; misses = 0; evictions = 0 } }
+  if not (is_pow2 stripes) || stripes > 256 then
+    invalid_arg "Node_cache.create: stripes must be a power of two <= 256";
+  (* Distribute capacity; ceil so the total never undershoots the request. *)
+  let per_stripe = (capacity + stripes - 1) / stripes in
+  let mk _ =
+    { cap = per_stripe;
+      tbl = Hash.Table.create (min per_stripe 4096);
+      head = None; tail = None;
+      m = Mutex.create ();
+      st = { c_hits = 0; c_misses = 0; c_evictions = 0 } }
+  in
+  { total_cap = per_stripe * stripes; mask = stripes - 1; stripes = Array.init stripes mk }
 
-let capacity t = t.cap
+let capacity t = t.total_cap
 
-let length t = Hash.Table.length t.tbl
+let stripe_count t = Array.length t.stripes
+
+let stripe_of t h = t.stripes.(Char.code (Hash.to_raw h).[0] land t.mask)
+
+(* Take every stripe lock (in index order, so concurrent full-cache
+   operations cannot deadlock), run [f], release in reverse. This is what
+   makes [stats] a consistent snapshot rather than a torn per-stripe read. *)
+let with_all_stripes t f =
+  Array.iter (fun s -> Mutex.lock s.m) t.stripes;
+  Fun.protect ~finally:(fun () ->
+      for i = Array.length t.stripes - 1 downto 0 do Mutex.unlock t.stripes.(i).m done)
+    f
+
+let length t =
+  with_all_stripes t (fun () ->
+      Array.fold_left (fun acc s -> acc + Hash.Table.length s.tbl) 0 t.stripes)
 
 let stats t =
-  Mutex.lock t.m;
-  let s = { hits = t.st.hits; misses = t.st.misses; evictions = t.st.evictions } in
-  Mutex.unlock t.m;
-  s
+  with_all_stripes t (fun () ->
+      Array.fold_left
+        (fun acc s ->
+           { hits = acc.hits + s.st.c_hits;
+             misses = acc.misses + s.st.c_misses;
+             evictions = acc.evictions + s.st.c_evictions })
+        { hits = 0; misses = 0; evictions = 0 } t.stripes)
 
 let reset_stats t =
-  Mutex.lock t.m;
-  t.st.hits <- 0;
-  t.st.misses <- 0;
-  t.st.evictions <- 0;
-  Mutex.unlock t.m
+  with_all_stripes t (fun () ->
+      Array.iter
+        (fun s ->
+           s.st.c_hits <- 0;
+           s.st.c_misses <- 0;
+           s.st.c_evictions <- 0)
+        t.stripes)
 
-let unlink t e =
-  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
-  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+let unlink s e =
+  (match e.prev with Some p -> p.next <- e.next | None -> s.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> s.tail <- e.prev);
   e.prev <- None;
   e.next <- None
 
-let push_front t e =
-  e.next <- t.head;
-  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
-  t.head <- Some e
+let push_front s e =
+  e.next <- s.head;
+  (match s.head with Some h -> h.prev <- Some e | None -> s.tail <- Some e);
+  s.head <- Some e
 
-let evict_tail t =
-  match t.tail with
+let evict_tail s =
+  match s.tail with
   | None -> ()
   | Some e ->
-    unlink t e;
-    Hash.Table.remove t.tbl e.key;
-    t.st.evictions <- t.st.evictions + 1
+    unlink s e;
+    Hash.Table.remove s.tbl e.key;
+    s.st.c_evictions <- s.st.c_evictions + 1
 
 let find t h =
-  Mutex.lock t.m;
+  let s = stripe_of t h in
+  Mutex.lock s.m;
   let r =
-    match Hash.Table.find_opt t.tbl h with
+    match Hash.Table.find_opt s.tbl h with
     | Some e ->
-      t.st.hits <- t.st.hits + 1;
-      unlink t e;
-      push_front t e;
+      s.st.c_hits <- s.st.c_hits + 1;
+      unlink s e;
+      push_front s e;
       Some e.value
     | None ->
-      t.st.misses <- t.st.misses + 1;
+      s.st.c_misses <- s.st.c_misses + 1;
       None
   in
-  Mutex.unlock t.m;
+  Mutex.unlock s.m;
   r
 
 let add t h v =
-  Mutex.lock t.m;
-  (match Hash.Table.find_opt t.tbl h with
-   | Some e -> unlink t e; Hash.Table.remove t.tbl e.key
+  let s = stripe_of t h in
+  Mutex.lock s.m;
+  (match Hash.Table.find_opt s.tbl h with
+   | Some e -> unlink s e; Hash.Table.remove s.tbl e.key
    | None -> ());
   let e = { key = h; value = v; prev = None; next = None } in
-  Hash.Table.replace t.tbl h e;
-  push_front t e;
-  if Hash.Table.length t.tbl > t.cap then evict_tail t;
-  Mutex.unlock t.m
+  Hash.Table.replace s.tbl h e;
+  push_front s e;
+  if Hash.Table.length s.tbl > s.cap then evict_tail s;
+  Mutex.unlock s.m
 
 let find_or_add t h ~load =
   match find t h with
@@ -102,8 +155,10 @@ let find_or_add t h ~load =
     v
 
 let clear t =
-  Mutex.lock t.m;
-  Hash.Table.reset t.tbl;
-  t.head <- None;
-  t.tail <- None;
-  Mutex.unlock t.m
+  with_all_stripes t (fun () ->
+      Array.iter
+        (fun s ->
+           Hash.Table.reset s.tbl;
+           s.head <- None;
+           s.tail <- None)
+        t.stripes)

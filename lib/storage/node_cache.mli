@@ -1,4 +1,4 @@
-(** LRU cache of decoded index nodes, keyed by content address.
+(** Lock-striped LRU cache of decoded index nodes, keyed by content address.
 
     Traversals of the authenticated indexes re-decode every node from its
     serialized bytes on each visit; this cache memoizes the decode. Because
@@ -7,47 +7,61 @@
     correctness caveat is deletion (compaction / release), which callers
     handle by consulting {!Object_store.mem} before trusting a hit.
 
+    The key space is split across a power-of-two number of stripes by the
+    first byte of the address (uniform, since addresses are SHA-256
+    outputs). Each stripe is an independent LRU with its own mutex and
+    counters, so concurrent readers touching different nodes rarely contend;
+    capacity and eviction are per-stripe (total capacity is divided evenly).
     Entries are polymorphic so each index family caches its own node type.
-    All operations are domain-safe (a single internal mutex), which the
-    parallel shard builds rely on. *)
+    All operations are domain-safe. *)
 
 open Spitz_crypto
 
 type 'a t
 
 type stats = {
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  hits : int;
+  misses : int;
+  evictions : int;
 }
 
-val create : ?capacity:int -> unit -> 'a t
-(** [capacity] (default 65536) is the maximum number of cached nodes; the
-    least recently used entry is evicted beyond it. Raises
-    [Invalid_argument] when [capacity < 1]. *)
+val create : ?capacity:int -> ?stripes:int -> unit -> 'a t
+(** [capacity] (default 65536) is the maximum number of cached nodes,
+    divided evenly across [stripes] (default 16; must be a power of two
+    [<= 256]) — each stripe evicts its own least recently used entry beyond
+    its share, so the effective total is [ceil (capacity / stripes) *
+    stripes]. [~stripes:1] recovers a single global LRU with strict
+    whole-cache recency order. Raises [Invalid_argument] when
+    [capacity < 1] or [stripes] is invalid. *)
 
 val capacity : 'a t -> int
+(** The effective total capacity after per-stripe rounding. *)
+
+val stripe_count : 'a t -> int
+
 val length : 'a t -> int
+(** Total entries across all stripes (consistent snapshot). *)
 
 val stats : 'a t -> stats
-(** Live counters (a snapshot copy; safe to read while other domains use the
-    cache). *)
+(** Merged hit/miss/eviction counters. Taken with every stripe locked, so
+    the snapshot is consistent — concurrent operations are either fully
+    included or fully excluded, never torn across stripes. *)
 
 val reset_stats : 'a t -> unit
-(** Zero the hit/miss/eviction counters (entries are kept). Benchmarks call
-    this at the start of each command so hit rates are per-run, not
-    cumulative. *)
+(** Zero the hit/miss/eviction counters of every stripe atomically (entries
+    are kept). Benchmarks call this at the start of each command so hit
+    rates are per-run, not cumulative. *)
 
 val find : 'a t -> Hash.t -> 'a option
-(** Look up a decoded node, promoting it to most recently used. Counts a hit
-    or a miss. *)
+(** Look up a decoded node, promoting it to most recently used within its
+    stripe. Counts a hit or a miss. *)
 
 val add : 'a t -> Hash.t -> 'a -> unit
-(** Insert (or refresh) a decoded node, evicting the LRU entry when over
-    capacity. *)
+(** Insert (or refresh) a decoded node, evicting the stripe's LRU entry when
+    the stripe is over its share of the capacity. *)
 
 val find_or_add : 'a t -> Hash.t -> load:(unit -> 'a) -> 'a
-(** [find] then, on miss, [load ()] (run outside the cache lock) and [add].
+(** [find] then, on miss, [load ()] (run outside any cache lock) and [add].
     Concurrent misses on the same address may both run [load]; by content
     addressing both decode the same bytes, so the duplicate insert is
     harmless. *)

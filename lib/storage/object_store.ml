@@ -10,59 +10,130 @@ type stats = {
 
 exception Corrupt of string
 
-type t = {
+(* The store is sharded by the first byte of the content address so that
+   reader domains walking index nodes do not contend with committers (or
+   each other) on one table lock — and, just as important, so the stdlib
+   Hashtbls are never mutated and read concurrently, which is unsafe under
+   OCaml 5 (a resize racing a lookup can crash or misread). Each shard owns
+   its object and refcount tables, a mutex, and its slice of the counters;
+   [stats] merges the slices with every shard locked, so the numbers are a
+   consistent cut. *)
+
+type shard = {
   objects : string Hash.Table.t;
   refcounts : int Hash.Table.t;
-  stats : stats;
-  chunk_params : Chunk.params;
-  mutable observer : (Hash.t -> string -> unit) option;
-  (* called once per newly stored object — the WAL capture hook *)
+  m : Mutex.t;
+  sc : stats; (* this shard's slice of the counters *)
 }
 
-let create ?(chunk_params = Chunk.default_params) () = {
-  objects = Hash.Table.create 4096;
-  refcounts = Hash.Table.create 4096;
-  stats = { puts = 0; gets = 0; dedup_hits = 0; physical_bytes = 0; logical_bytes = 0 };
-  chunk_params;
-  observer = None;
+type t = {
+  shards : shard array;
+  mask : int;
+  chunk_params : Chunk.params;
+  mutable observer : (Hash.t -> string -> unit) option;
+  (* called once per newly stored object — the WAL capture hook; only write
+     paths fire it, and those serialize under the ledger commit lock *)
+  generation : int Atomic.t;
+  (* bumped whenever an object is deleted (release to zero, sweep) — a
+     snapshot pinned at generation g is fully intact iff the generation is
+     still g *)
 }
+
+let shard_count = 16
+
+let create ?(chunk_params = Chunk.default_params) () =
+  let mk _ =
+    { objects = Hash.Table.create 1024;
+      refcounts = Hash.Table.create 1024;
+      m = Mutex.create ();
+      sc = { puts = 0; gets = 0; dedup_hits = 0; physical_bytes = 0; logical_bytes = 0 } }
+  in
+  { shards = Array.init shard_count mk;
+    mask = shard_count - 1;
+    chunk_params;
+    observer = None;
+    generation = Atomic.make 0 }
+
+let shard_of t h = t.shards.(Char.code (Hash.to_raw h).[0] land t.mask)
+
+let with_shard s f =
+  Mutex.lock s.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.m) f
+
+(* Locks taken in index order so concurrent whole-store operations cannot
+   deadlock. *)
+let with_all_shards t f =
+  Array.iter (fun s -> Mutex.lock s.m) t.shards;
+  Fun.protect ~finally:(fun () ->
+      for i = Array.length t.shards - 1 downto 0 do Mutex.unlock t.shards.(i).m done)
+    f
 
 let set_observer t f = t.observer <- f
 
-let stats t = t.stats
+let generation t = Atomic.get t.generation
+
+let stats t =
+  with_all_shards t (fun () ->
+      let acc = { puts = 0; gets = 0; dedup_hits = 0; physical_bytes = 0; logical_bytes = 0 } in
+      Array.iter
+        (fun s ->
+           acc.puts <- acc.puts + s.sc.puts;
+           acc.gets <- acc.gets + s.sc.gets;
+           acc.dedup_hits <- acc.dedup_hits + s.sc.dedup_hits;
+           acc.physical_bytes <- acc.physical_bytes + s.sc.physical_bytes;
+           acc.logical_bytes <- acc.logical_bytes + s.sc.logical_bytes)
+        t.shards;
+      acc)
 
 let reset_counters t =
-  t.stats.puts <- 0;
-  t.stats.gets <- 0;
-  t.stats.dedup_hits <- 0
+  with_all_shards t (fun () ->
+      Array.iter
+        (fun s ->
+           s.sc.puts <- 0;
+           s.sc.gets <- 0;
+           s.sc.dedup_hits <- 0)
+        t.shards)
 
-let object_count t = Hash.Table.length t.objects
+let object_count t =
+  with_all_shards t (fun () ->
+      Array.fold_left (fun acc s -> acc + Hash.Table.length s.objects) 0 t.shards)
 
 let put t data =
   let h = Hash.of_string data in
-  t.stats.puts <- t.stats.puts + 1;
-  t.stats.logical_bytes <- t.stats.logical_bytes + String.length data;
-  (match Hash.Table.find_opt t.refcounts h with
-   | Some n ->
-     t.stats.dedup_hits <- t.stats.dedup_hits + 1;
-     Hash.Table.replace t.refcounts h (n + 1)
-   | None ->
-     Hash.Table.replace t.objects h data;
-     Hash.Table.replace t.refcounts h 1;
-     t.stats.physical_bytes <- t.stats.physical_bytes + String.length data;
-     match t.observer with None -> () | Some f -> f h data);
+  let s = shard_of t h in
+  let fresh =
+    with_shard s (fun () ->
+        s.sc.puts <- s.sc.puts + 1;
+        s.sc.logical_bytes <- s.sc.logical_bytes + String.length data;
+        match Hash.Table.find_opt s.refcounts h with
+        | Some n ->
+          s.sc.dedup_hits <- s.sc.dedup_hits + 1;
+          Hash.Table.replace s.refcounts h (n + 1);
+          false
+        | None ->
+          Hash.Table.replace s.objects h data;
+          Hash.Table.replace s.refcounts h 1;
+          s.sc.physical_bytes <- s.sc.physical_bytes + String.length data;
+          true)
+  in
+  (* outside the shard lock: the hook may do arbitrary work (WAL capture) *)
+  if fresh then (match t.observer with None -> () | Some f -> f h data);
   h
 
 let get t h =
-  t.stats.gets <- t.stats.gets + 1;
-  Hash.Table.find_opt t.objects h
+  let s = shard_of t h in
+  with_shard s (fun () ->
+      s.sc.gets <- s.sc.gets + 1;
+      Hash.Table.find_opt s.objects h)
 
 let get_exn t h =
   match get t h with
   | Some data -> data
   | None -> raise Not_found
 
-let mem t h = Hash.Table.mem t.objects h
+let mem t h =
+  let s = shard_of t h in
+  with_shard s (fun () -> Hash.Table.mem s.objects h)
 
 (* Large values are stored chunked: each chunk is a content-addressed object
    and the blob itself is a descriptor object listing the chunk hashes. Edits
@@ -92,22 +163,34 @@ let decode_descriptor data =
 
 (* Drop one reference; when the last reference of a chunked blob goes, the
    chunks its descriptor names lose a reference too, recursively — otherwise
-   every released blob leaks its chunks until the next sweep. *)
+   every released blob leaks its chunks until the next sweep. The shard lock
+   is released before recursing (a part may live in the same shard). *)
 let rec release t h =
-  match Hash.Table.find_opt t.refcounts h with
+  let s = shard_of t h in
+  let parts =
+    with_shard s (fun () ->
+        match Hash.Table.find_opt s.refcounts h with
+        | None -> None
+        | Some 1 ->
+          let parts =
+            match Hash.Table.find_opt s.objects h with
+            | Some data ->
+              s.sc.physical_bytes <- s.sc.physical_bytes - String.length data;
+              Option.value ~default:[] (decode_descriptor data)
+            | None -> []
+          in
+          Hash.Table.remove s.refcounts h;
+          Hash.Table.remove s.objects h;
+          Some parts
+        | Some n ->
+          Hash.Table.replace s.refcounts h (n - 1);
+          None)
+  in
+  match parts with
   | None -> ()
-  | Some 1 ->
-    let parts =
-      match Hash.Table.find_opt t.objects h with
-      | Some data ->
-        t.stats.physical_bytes <- t.stats.physical_bytes - String.length data;
-        Option.value ~default:[] (decode_descriptor data)
-      | None -> []
-    in
-    Hash.Table.remove t.refcounts h;
-    Hash.Table.remove t.objects h;
+  | Some parts ->
+    Atomic.incr t.generation;
     List.iter (release t) parts
-  | Some n -> Hash.Table.replace t.refcounts h (n - 1)
 
 let looks_like_descriptor data =
   let prefix_len = String.length descriptor_magic in
@@ -161,39 +244,55 @@ let blob_parts t h =
    are adjusted; refcounts of survivors are untouched. Returns the number of
    objects deleted. *)
 let sweep t ~live =
-  let victims =
-    Hash.Table.fold (fun h _ acc -> if Hash.Table.mem live h then acc else h :: acc) t.objects []
+  let deleted =
+    with_all_shards t (fun () ->
+        Array.fold_left
+          (fun acc s ->
+             let victims =
+               Hash.Table.fold
+                 (fun h _ vs -> if Hash.Table.mem live h then vs else h :: vs)
+                 s.objects []
+             in
+             List.iter
+               (fun h ->
+                  (match Hash.Table.find_opt s.objects h with
+                   | Some data -> s.sc.physical_bytes <- s.sc.physical_bytes - String.length data
+                   | None -> ());
+                  Hash.Table.remove s.objects h;
+                  Hash.Table.remove s.refcounts h)
+               victims;
+             acc + List.length victims)
+          0 t.shards)
   in
-  List.iter
-    (fun h ->
-       (match Hash.Table.find_opt t.objects h with
-        | Some data -> t.stats.physical_bytes <- t.stats.physical_bytes - String.length data
-        | None -> ());
-       Hash.Table.remove t.objects h;
-       Hash.Table.remove t.refcounts h)
-    victims;
-  List.length victims
+  if deleted > 0 then Atomic.incr t.generation;
+  deleted
 
 (* --- persistence: length-prefixed object stream --- *)
 
 let fold t f init =
-  Hash.Table.fold
-    (fun h data acc ->
-       let refcount = Option.value ~default:0 (Hash.Table.find_opt t.refcounts h) in
-       f h data refcount acc)
-    t.objects init
+  with_all_shards t (fun () ->
+      Array.fold_left
+        (fun acc s ->
+           Hash.Table.fold
+             (fun h data acc ->
+                let refcount = Option.value ~default:0 (Hash.Table.find_opt s.refcounts h) in
+                f h data refcount acc)
+             s.objects acc)
+        init t.shards)
 
 let restore_object t data refcount =
   let h = Hash.of_string data in
-  if not (Hash.Table.mem t.objects h) then begin
-    Hash.Table.replace t.objects h data;
-    t.stats.physical_bytes <- t.stats.physical_bytes + String.length data
-  end;
-  (* count restored bytes as if they had been written through [put] once per
-     reference, so dedup ratios survive a save/load cycle *)
-  t.stats.logical_bytes <- t.stats.logical_bytes + (String.length data * max 1 refcount);
-  Hash.Table.replace t.refcounts h refcount;
-  h
+  let s = shard_of t h in
+  with_shard s (fun () ->
+      if not (Hash.Table.mem s.objects h) then begin
+        Hash.Table.replace s.objects h data;
+        s.sc.physical_bytes <- s.sc.physical_bytes + String.length data
+      end;
+      (* count restored bytes as if they had been written through [put] once
+         per reference, so dedup ratios survive a save/load cycle *)
+      s.sc.logical_bytes <- s.sc.logical_bytes + (String.length data * max 1 refcount);
+      Hash.Table.replace s.refcounts h refcount;
+      h)
 
 let write_varint oc n =
   let rec go n =
@@ -221,13 +320,23 @@ let read_varint ic =
   if n < 0 then raise (Corrupt "varint overflows int") else n
 
 let dump t oc =
-  write_varint oc (object_count t);
-  fold t
-    (fun _ data refcount () ->
-       write_varint oc (String.length data);
-       output_string oc data;
-       write_varint oc refcount)
-    ()
+  (* one all-shards section, so the count prefix and the stream agree even
+     if someone writes concurrently *)
+  with_all_shards t (fun () ->
+      let count =
+        Array.fold_left (fun acc s -> acc + Hash.Table.length s.objects) 0 t.shards
+      in
+      write_varint oc count;
+      Array.iter
+        (fun s ->
+           Hash.Table.iter
+             (fun h data ->
+                let refcount = Option.value ~default:0 (Hash.Table.find_opt s.refcounts h) in
+                write_varint oc (String.length data);
+                output_string oc data;
+                write_varint oc refcount)
+             s.objects)
+        t.shards)
 
 let restore t ic =
   try

@@ -3,7 +3,14 @@
 
     Every object is stored under its SHA-256 digest; writing the same bytes
     twice stores them once. Stats track logical vs physical bytes, which is
-    exactly the Figure-1 measurement. *)
+    exactly the Figure-1 measurement.
+
+    The store is domain-safe: objects are sharded by address prefix, each
+    shard under its own mutex, so reader domains traversing index nodes
+    don't serialize against committers on a single lock. Deletions
+    ({!release} to zero, {!sweep}) bump a {!generation} counter — snapshot
+    readers use it to detect that objects they pinned may have been
+    compacted away. *)
 
 open Spitz_crypto
 
@@ -26,9 +33,18 @@ type stats = {
 val create : ?chunk_params:Chunk.params -> unit -> t
 
 val stats : t -> stats
+(** A merged snapshot of the per-shard counters, taken with every shard
+    locked — consistent, never torn. Mutating the returned record has no
+    effect on the store. *)
 
 val reset_counters : t -> unit
 (** Zero the operation counters (not the byte gauges). *)
+
+val generation : t -> int
+(** Deletion epoch: bumped whenever any object is removed ({!release}
+    reaching refcount 0, {!sweep}). Everything pinned while the generation
+    is [g] remains present as long as [generation t = g] — additions never
+    bump it. *)
 
 val object_count : t -> int
 
@@ -63,7 +79,9 @@ val get_blob : t -> Hash.t -> string option
 val get_blob_exn : t -> Hash.t -> string
 
 val fold : t -> (Hash.t -> string -> int -> 'a -> 'a) -> 'a -> 'a
-(** Fold over every stored object with its refcount (unspecified order). *)
+(** Fold over every stored object with its refcount (unspecified order).
+    Runs with every shard locked for a consistent view — the callback must
+    not call back into the store. *)
 
 val blob_parts : t -> Hash.t -> Hash.t list
 (** Chunk addresses referenced by a blob descriptor ([[]] for raw values). *)

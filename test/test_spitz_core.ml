@@ -148,6 +148,181 @@ let test_db_detects_tampering () =
   Alcotest.(check bool) "foreign proof rejected" false
     (Db.verify_read ~digest ~key:"k50" ~value:v2 (Option.get p2))
 
+(* --- snapshot reads: the concurrent read path --- *)
+
+let test_db_snapshot_pins_state () =
+  let db = Db.open_db () in
+  for i = 0 to 49 do
+    ignore (Db.put db (Printf.sprintf "k%02d" i) (Printf.sprintf "v%d" i))
+  done;
+  let s = Option.get (Db.snapshot db) in
+  let pinned_height = Db.Snapshot.height s in
+  let pinned_digest = Db.Snapshot.digest s in
+  (* the ledger moves on; the snapshot must not *)
+  ignore (Db.put db "k10" "overwritten");
+  ignore (Db.delete db "k20");
+  Alcotest.(check int) "height pinned" pinned_height (Db.Snapshot.height s);
+  Alcotest.(check (option string)) "k10 pre-overwrite" (Some "v10") (Db.Snapshot.get s "k10");
+  Alcotest.(check (option string)) "k20 pre-delete" (Some "v20") (Db.Snapshot.get s "k20");
+  Alcotest.(check (option string)) "head sees overwrite" (Some "overwritten") (Db.get db "k10");
+  (* proofs verify against the pinned digest, not the moved-on head *)
+  let v, p = Db.Snapshot.get_verified s "k10" in
+  Alcotest.(check (option string)) "verified value" (Some "v10") v;
+  Alcotest.(check bool) "verifies under pinned digest" true
+    (Db.verify_read ~digest:pinned_digest ~key:"k10" ~value:v p);
+  Alcotest.(check bool) "rejected under moved-on digest" false
+    (Db.verify_read ~digest:(Db.digest db) ~key:"k10" ~value:v p);
+  (* batch + range from the pinned state *)
+  let keys = [ "k05"; "k20"; "zzz" ] in
+  let vs, bp = Db.Snapshot.get_batch_verified s keys in
+  Alcotest.(check (list (option string))) "batch values"
+    [ Some "v5"; Some "v20"; None ] vs;
+  Alcotest.(check bool) "batch verifies" true
+    (Db.verify_batch_read ~digest:pinned_digest ~items:(List.combine keys vs) bp);
+  let entries, rp = Db.Snapshot.range_verified s ~lo:"k18" ~hi:"k22" in
+  Alcotest.(check int) "range rows" 5 (List.length entries);
+  Alcotest.(check bool) "range verifies" true
+    (Db.verify_range ~digest:pinned_digest ~lo:"k18" ~hi:"k22" ~entries rp)
+
+let test_db_snapshot_at_height () =
+  let db = Db.open_db () in
+  let h1 = Db.put db "k" "v1" in
+  ignore (Db.put db "k" "v2");
+  let s = Option.get (Db.snapshot ~height:h1 db) in
+  Alcotest.(check int) "pinned height" h1 (Db.Snapshot.height s);
+  Alcotest.(check (option string)) "value at h1" (Some "v1") (Db.Snapshot.get s "k");
+  let v, p = Db.Snapshot.get_verified s "k" in
+  Alcotest.(check bool) "proof under pinned digest" true
+    (Db.verify_read ~digest:(Db.Snapshot.digest s) ~key:"k" ~value:v p);
+  Alcotest.(check bool) "out of range raises" true
+    (match Db.snapshot ~height:99 db with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_db_snapshot_validity () =
+  let db = Db.open_db () in
+  for i = 0 to 63 do
+    ignore (Db.put db (Printf.sprintf "k%02d" i) (String.make 64 'x'))
+  done;
+  let s = Option.get (Db.snapshot db) in
+  Alcotest.(check bool) "valid at pin time" true (Db.Snapshot.valid s);
+  ignore (Db.put db "more" "y");
+  Alcotest.(check bool) "additions don't invalidate" true (Db.Snapshot.valid s);
+  let deleted, _ = Db.compact ~keep_instances:2 db in
+  Alcotest.(check bool) "compaction deleted something" true (deleted > 0);
+  Alcotest.(check bool) "deletions invalidate" false (Db.Snapshot.valid s)
+
+let test_db_proof_cache () =
+  let module NC = Spitz_storage.Node_cache in
+  let db = Db.open_db () in
+  for i = 0 to 99 do
+    ignore (Db.put db (Printf.sprintf "k%02d" i) "x")
+  done;
+  let s = Option.get (Db.snapshot db) in
+  Db.reset_proof_cache_stats ();
+  let _ = Db.Snapshot.get_verified s "k42" in
+  let st1 = Db.proof_cache_stats () in
+  Alcotest.(check bool) "first build misses" true (st1.NC.misses >= 1);
+  let v1, p1 = Db.Snapshot.get_verified s "k42" in
+  let st2 = Db.proof_cache_stats () in
+  Alcotest.(check bool) "repeat read hits" true (st2.NC.hits > st1.NC.hits);
+  Alcotest.(check bool) "cached proof verifies" true
+    (Db.verify_read ~digest:(Db.Snapshot.digest s) ~key:"k42" ~value:v1 p1);
+  (* a commit moves the root; same key under the new root is a fresh cache
+     entry (content addressing is the invalidation protocol) *)
+  ignore (Db.put db "k42" "y");
+  let s2 = Option.get (Db.snapshot db) in
+  let before = Db.proof_cache_stats () in
+  let v2, p2 = Db.Snapshot.get_verified s2 "k42" in
+  let after = Db.proof_cache_stats () in
+  Alcotest.(check bool) "new root misses" true (after.NC.misses > before.NC.misses);
+  Alcotest.(check (option string)) "new value" (Some "y") v2;
+  Alcotest.(check bool) "new proof verifies" true
+    (Db.verify_read ~digest:(Db.Snapshot.digest s2) ~key:"k42" ~value:v2 p2);
+  (* the old snapshot's cached proof is still served and still correct *)
+  let v1', p1' = Db.Snapshot.get_verified s "k42" in
+  Alcotest.(check (option string)) "old snapshot still v1" (Some "x") v1';
+  Alcotest.(check bool) "old proof still verifies" true
+    (Db.verify_read ~digest:(Db.Snapshot.digest s) ~key:"k42" ~value:v1' p1');
+  (* batch and range construction are memoized too *)
+  let keys = [ "k01"; "k02"; "k03" ] in
+  let _ = Db.Snapshot.get_batch_verified s2 keys in
+  let b1 = Db.proof_cache_stats () in
+  let vs, bp = Db.Snapshot.get_batch_verified s2 keys in
+  let b2 = Db.proof_cache_stats () in
+  Alcotest.(check bool) "batch repeat hits" true (b2.NC.hits > b1.NC.hits);
+  Alcotest.(check bool) "batch proof verifies" true
+    (Db.verify_batch_read ~digest:(Db.Snapshot.digest s2)
+       ~items:(List.combine keys vs) bp);
+  let _ = Db.Snapshot.range_verified s2 ~lo:"k10" ~hi:"k15" in
+  let r1 = Db.proof_cache_stats () in
+  let entries, rp = Db.Snapshot.range_verified s2 ~lo:"k10" ~hi:"k15" in
+  let r2 = Db.proof_cache_stats () in
+  Alcotest.(check bool) "range repeat hits" true (r2.NC.hits > r1.NC.hits);
+  Alcotest.(check bool) "range proof verifies" true
+    (Db.verify_range ~digest:(Db.Snapshot.digest s2) ~lo:"k10" ~hi:"k15" ~entries rp)
+
+(* Regression for the torn head read: the old read path loaded the journal
+   length and the instances slot as two separate reads, so a reader racing a
+   commit could observe height N+1 with the instance of height N. The head is
+   now published as one atomic record — a pinned snapshot's digest size and
+   height always agree, and its proof always verifies, mid-commit or not. *)
+let test_db_snapshot_atomic_under_commits () =
+  let db = Db.open_db () in
+  ignore (Db.put db "seed" "0");
+  let stop = Atomic.make false in
+  let committer =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          ignore (Db.put db (Printf.sprintf "c%d" !i) "x");
+          incr i
+        done;
+        !i)
+  in
+  let bad = ref 0 in
+  for _ = 1 to 500 do
+    match Db.snapshot db with
+    | None -> incr bad
+    | Some s ->
+      let h = Db.Snapshot.height s in
+      let d = Db.Snapshot.digest s in
+      if d.Spitz_ledger.Journal.size <> h + 1 then incr bad;
+      let v, p = Db.Snapshot.get_verified s "seed" in
+      if v <> Some "0" then incr bad;
+      if not (Db.verify_read ~digest:d ~key:"seed" ~value:v p) then incr bad
+  done;
+  Atomic.set stop true;
+  let commits = Domain.join committer in
+  Alcotest.(check int) "no torn snapshot observed" 0 !bad;
+  Alcotest.(check bool) "committer progressed" true (commits > 0)
+
+let test_db_snapshot_parallel_reads () =
+  let db = Db.open_db () in
+  for i = 0 to 199 do
+    ignore (Db.put db (Printf.sprintf "k%03d" i) (string_of_int i))
+  done;
+  let s = Option.get (Db.snapshot db) in
+  let keys = List.init 64 (fun i -> Printf.sprintf "k%03d" (i * 3)) in
+  let serial_batch = Db.Snapshot.get_batch s keys in
+  let serial_range = Db.Snapshot.range s ~lo:"k010" ~hi:"k150" in
+  Alcotest.(check int) "serial range rows" 141 (List.length serial_range);
+  List.iter
+    (fun n ->
+      let pool = Spitz_exec.Pool.create n in
+      Fun.protect
+        ~finally:(fun () -> Spitz_exec.Pool.shutdown pool)
+        (fun () ->
+          Alcotest.(check bool)
+            (Printf.sprintf "batch identical at pool %d" n)
+            true
+            (Db.Snapshot.get_batch ~pool s keys = serial_batch);
+          Alcotest.(check bool)
+            (Printf.sprintf "range identical at pool %d" n)
+            true
+            (Db.Snapshot.range ~pool s ~lo:"k010" ~hi:"k150" = serial_range)))
+    [ 1; 2; 4 ]
+
 let suite =
   [
     Alcotest.test_case "universal key roundtrip" `Quick test_ukey_roundtrip;
@@ -163,4 +338,12 @@ let suite =
     Alcotest.test_case "db consistency protocol" `Quick test_db_consistency_protocol;
     Alcotest.test_case "db inverted search" `Quick test_db_inverted_search;
     Alcotest.test_case "db detects tampering" `Quick test_db_detects_tampering;
+    Alcotest.test_case "db snapshot pins state" `Quick test_db_snapshot_pins_state;
+    Alcotest.test_case "db snapshot at height" `Quick test_db_snapshot_at_height;
+    Alcotest.test_case "db snapshot validity" `Quick test_db_snapshot_validity;
+    Alcotest.test_case "db proof cache" `Quick test_db_proof_cache;
+    Alcotest.test_case "db snapshot atomic under commits" `Quick
+      test_db_snapshot_atomic_under_commits;
+    Alcotest.test_case "db snapshot parallel reads" `Quick
+      test_db_snapshot_parallel_reads;
   ]

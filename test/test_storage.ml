@@ -251,7 +251,8 @@ let test_cache_hit_miss_stats () =
   Alcotest.(check int) "reset misses" 0 s.Node_cache.misses
 
 let test_cache_lru_eviction () =
-  let c = Node_cache.create ~capacity:3 () in
+  (* strict whole-cache recency order needs a single stripe *)
+  let c = Node_cache.create ~capacity:3 ~stripes:1 () in
   List.iter (fun i -> Node_cache.add c (h_of i) i) [ 0; 1; 2 ];
   (* touch 0 so 1 becomes least recently used *)
   ignore (Node_cache.find c (h_of 0));
@@ -295,6 +296,83 @@ let test_cache_content_address_consistency () =
   Alcotest.(check bool) "roots agree" true
     (Spitz_crypto.Hash.equal (T.root_digest !t) (T.root_digest fresh))
 
+(* Striping must not leak across shards: filling one stripe past its share
+   evicts only within that stripe. Keys are binned the same way the cache
+   bins them — by the first byte of the address. *)
+let test_cache_stripe_independence () =
+  let stripes = 16 in
+  let c = Node_cache.create ~capacity:32 ~stripes () in
+  Alcotest.(check int) "stripe count" stripes (Node_cache.stripe_count c);
+  Alcotest.(check int) "capacity rounded" 32 (Node_cache.capacity c);
+  let stripe_of h = Char.code (Spitz_crypto.Hash.to_raw h).[0] land (stripes - 1) in
+  (* collect keys for two distinct stripes *)
+  let keys_in s n =
+    let acc = ref [] and i = ref 0 in
+    while List.length !acc < n do
+      let h = h_of !i in
+      if stripe_of h = s then acc := h :: !acc;
+      incr i
+    done;
+    List.rev !acc
+  in
+  let a = keys_in 0 5 and b = keys_in 1 2 in
+  List.iter (fun h -> Node_cache.add c h "b") b;
+  List.iter (fun h -> Node_cache.add c h "a") a;
+  (* stripe 0 holds 2 of its 5 inserts; stripe 1 is untouched by them *)
+  List.iter
+    (fun h -> Alcotest.(check (option string)) "other stripe survives" (Some "b") (Node_cache.find c h))
+    b;
+  Alcotest.(check int) "evictions confined to stripe 0" 3
+    (Node_cache.stats c).Node_cache.evictions;
+  Node_cache.reset_stats c;
+  Alcotest.(check int) "reset zeroes evictions" 0 (Node_cache.stats c).Node_cache.evictions
+
+(* Lookup behaviour must not depend on the stripe count (only eviction
+   scope does): below capacity — including below every stripe's share —
+   every added key is findable at any striping. *)
+let test_cache_stripes_invariance () =
+  let run stripes =
+    let c = Node_cache.create ~capacity:1024 ~stripes () in
+    for i = 0 to 63 do Node_cache.add c (h_of i) i done;
+    let found = List.init 64 (fun i -> Node_cache.find c (h_of i)) in
+    (found, Node_cache.length c, (Node_cache.stats c).Node_cache.hits)
+  in
+  let f1, l1, h1 = run 1 and f16, l16, h16 = run 16 in
+  Alcotest.(check (list (option int))) "same lookups" f1 f16;
+  Alcotest.(check int) "same length" l1 l16;
+  Alcotest.(check int) "same hits" h1 h16
+
+(* [stats] locks every stripe, so a snapshot can never be torn: with each
+   operation bumping exactly one counter, hits+misses must equal the ops
+   retired so far — monotonically, and exactly once the domains join. *)
+let test_cache_consistent_stats () =
+  let c = Node_cache.create ~capacity:128 ~stripes:16 () in
+  let per_domain = 2_000 and domains = 4 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              let h = h_of ((d * per_domain + i) mod 200) in
+              (match Node_cache.find c h with
+               | Some _ -> ()
+               | None -> Node_cache.add c h 0);
+              ignore (Node_cache.find c h)
+            done))
+  in
+  let last = ref 0 in
+  for _ = 1 to 50 do
+    let s = Node_cache.stats c in
+    let total = s.Node_cache.hits + s.Node_cache.misses in
+    if total < !last then Alcotest.fail "stats went backwards (torn snapshot)";
+    last := total
+  done;
+  List.iter Domain.join workers;
+  let s = Node_cache.stats c in
+  (* find + (find_or_add's find) = 2 counted lookups per loop, every loop *)
+  Alcotest.(check int) "every op counted exactly once"
+    (2 * domains * per_domain)
+    (s.Node_cache.hits + s.Node_cache.misses)
+
 let suite =
   suite
   @ [
@@ -303,4 +381,8 @@ let suite =
       Alcotest.test_case "node cache find_or_add" `Quick test_cache_find_or_add;
       Alcotest.test_case "node cache content-address consistency" `Quick
         test_cache_content_address_consistency;
+      Alcotest.test_case "node cache stripe independence" `Quick test_cache_stripe_independence;
+      Alcotest.test_case "node cache stripe-count invariance" `Quick test_cache_stripes_invariance;
+      Alcotest.test_case "node cache consistent stats under domains" `Quick
+        test_cache_consistent_stats;
     ]
