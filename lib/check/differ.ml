@@ -561,6 +561,128 @@ let check_concurrent_reads (tr : Trace.trace) =
     if Db.L.height (Spitz.Auditor.ledger (Db.auditor db)) <> List.length batches
     then fail "commit storm lost blocks"
 
+(* Commit storm against a *durable* database while checkpoints race it.
+   Checkpoints are non-blocking (the commit lock is held only to pin the
+   journal and rotate the log), so committers, a manual-checkpoint loop, an
+   automatic background checkpointer, and snapshot readers all run at once.
+   Afterwards: the committed order recovered from the sentinels, replayed
+   serially, must reproduce the digest bit-identically; the live audit must
+   pass; and a reopen from disk — whatever mix of snapshot generation and
+   live log segments the storm left behind — must recover the identical
+   digest and audit too. *)
+let check_checkpoint_storm (tr : Trace.trace) =
+  let batches =
+    List.filter_map (function Trace.Commit ws -> Some ws | Trace.Reopen -> None) tr.steps
+  in
+  if batches <> [] then begin
+    let dir = Filename.temp_file "spitz_check" ".dur" in
+    Sys.remove dir;
+    let rec rm_rf p =
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+    in
+    Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ())
+    @@ fun () ->
+    let d =
+      Db.open_durable
+        ~sync:(Spitz_storage.Wal.Group { max_batch = 8; max_delay_us = 100 })
+        dir
+    in
+    let db = Db.durable_db d in
+    (* the background checkpointer joins the race as well *)
+    Db.set_checkpoint_policy d (Db.Every_n_records 3);
+    let ncommitters = min 3 (List.length batches) in
+    let slices =
+      List.init ncommitters (fun c ->
+          List.filteri (fun i _ -> i mod ncommitters = c) batches)
+    in
+    let batch_of (c, j) = List.nth (List.nth slices c) j in
+    let live = Atomic.make ncommitters in
+    let committers =
+      List.mapi
+        (fun c slice ->
+           Domain.spawn (fun () ->
+               List.iteri
+                 (fun j ws ->
+                    ignore (Db.commit db ~statements:[ sentinel c j ] (writes_of ws)))
+                 slice;
+               Atomic.decr live))
+        slices
+    in
+    let checkpointer =
+      Domain.spawn (fun () ->
+          while Atomic.get live > 0 do
+            Db.checkpoint d
+          done)
+    in
+    let reader =
+      Domain.spawn (fun () ->
+          let i = ref 0 in
+          while Atomic.get live > 0 || !i < 20 do
+            if !i > 100_000 then fail "reader starved: committers never finished";
+            (match Db.snapshot db with
+             | None -> ()
+             | Some s ->
+               let h = Db.Snapshot.height s in
+               let dg = Db.Snapshot.digest s in
+               if dg.Spitz_ledger.Journal.size <> h + 1 then
+                 fail "torn snapshot during checkpoint storm: size %d at height %d"
+                   dg.Spitz_ledger.Journal.size h;
+               let key = Trace.key (!i mod max 1 tr.keyspace) in
+               let v, p = Db.Snapshot.get_verified s key in
+               if not (Db.verify_read ~digest:dg ~key ~value:v p) then
+                 fail "snapshot proof for %S does not verify mid-checkpoint" key);
+            incr i
+          done)
+    in
+    List.iter Domain.join committers;
+    Domain.join checkpointer;
+    Domain.join reader;
+    Db.set_checkpoint_policy d Db.Manual;
+    let digest = Db.digest db in
+    let ledger = Spitz.Auditor.ledger (Db.auditor db) in
+    let height = Db.L.height ledger in
+    if height <> List.length batches then
+      fail "checkpoint storm: %d blocks for %d batches" height (List.length batches);
+    let order =
+      List.init height (fun h ->
+          match
+            (Spitz_ledger.Journal.block (Db.L.journal ledger) h).Spitz_ledger.Block.statements
+          with
+          | [ s ] -> parse_sentinel s
+          | ss -> fail "block %d carries %d statements, expected 1" h (List.length ss))
+    in
+    (* the committed order, replayed serially in memory, is bit-identical *)
+    let serial = Db.open_db () in
+    List.iter
+      (fun (c, j) ->
+         ignore (Db.commit serial ~statements:[ sentinel c j ] (writes_of (batch_of (c, j)))))
+      order;
+    if Db.digest serial <> digest then
+      fail "checkpoint storm digest differs from its own serial order";
+    if not (Db.audit db) then fail "checkpoint storm: live chain audit failed";
+    let stats = Db.checkpoint_stats d in
+    if stats.Db.checkpoints < 1 then fail "checkpoint storm ran no checkpoints";
+    if stats.Db.failures > 0 then
+      fail "checkpoint storm: %d checkpoint failures (%s)" stats.Db.failures
+        (Option.value ~default:"?" stats.Db.last_error);
+    Db.close_durable d;
+    (* recovery from whatever snapshot/segment mix the storm left behind *)
+    let d' = Db.open_durable dir in
+    let db' = Db.durable_db d' in
+    Fun.protect ~finally:(fun () -> Db.close_durable d')
+    @@ fun () ->
+    if not
+         (Spitz_crypto.Hash.equal digest.Spitz_ledger.Journal.root
+            (Db.digest db').Spitz_ledger.Journal.root)
+       || (Db.digest db').Spitz_ledger.Journal.size <> digest.Spitz_ledger.Journal.size
+    then fail "checkpoint storm: reopen does not reproduce the digest";
+    if not (Db.audit db') then fail "checkpoint storm: recovered chain audit failed"
+  end
+
 let check_digest_stability (tr : Trace.trace) =
   with_temp_file @@ fun tmp ->
   let first = replay_digest tr in

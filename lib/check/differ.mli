@@ -57,6 +57,17 @@ val check_concurrent_reads : Trace.trace -> unit
     state [Db.get_at] reports once the storm settles, and head-path proofs
     verify against their own anchors. *)
 
+val check_checkpoint_storm : Trace.trace -> unit
+(** Commit storm on a {e durable} database with checkpoints racing it: up to
+    three committer domains drive sentinel-tagged commits while a
+    manual-checkpoint loop, the automatic background checkpointer
+    ([Every_n_records]), and a snapshot reader all run concurrently.
+    Asserts no checkpoint attempt fails, every pinned snapshot stays
+    internally consistent with verifying proofs, the committed order
+    replayed serially reproduces the digest bit-identically, the live audit
+    passes, and a reopen from whatever snapshot/segment mix the storm left
+    on disk recovers the identical digest and passes the audit. *)
+
 val check_digest_stability : Trace.trace -> unit
 (** The digest is a pure function of the committed history: replaying the
     same trace twice — and through a save/load round-trip — yields identical

@@ -352,11 +352,22 @@ let temp_dir rng =
   in
   go 0
 
-let copy_dir src dst =
+let rec copy_dir src dst =
   if not (Sys.file_exists dst) then Sys.mkdir dst 0o700;
   Array.iter
-    (fun f -> write_file (Filename.concat dst f) (read_file (Filename.concat src f)))
+    (fun f ->
+       let s = Filename.concat src f and d = Filename.concat dst f in
+       if Sys.is_directory s then copy_dir s d else write_file d (read_file s))
     (Sys.readdir src)
+
+(* Regular files under [dir], as paths relative to it — the WAL is a
+   subdirectory of segments, and its files are mutation victims too. *)
+let rec files_under ?(rel = "") dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.concat_map (fun f ->
+      let path = Filename.concat dir f in
+      let rel = if rel = "" then f else Filename.concat rel f in
+      if Sys.is_directory path then files_under ~rel path else [ rel ])
 
 (* One durable database to mutate copies of: two checkpoint generations so
    snapshot, wal, and meta all exist and all carry real state. *)
@@ -398,7 +409,7 @@ let fuzz_wal ?(cases = 200) ~seed () =
   let r = ref empty_report in
   Fun.protect ~finally:(fun () -> rm_rf base) @@ fun () ->
   ignore (build_durable rng base);
-  let files = Sys.readdir base in
+  let files = Array.of_list (files_under base) in
   let tally tname outcome =
     let acc = !r in
     r :=
@@ -419,22 +430,27 @@ let fuzz_wal ?(cases = 200) ~seed () =
     write_file path (Mutate.random rng (read_file path));
     tally ("durable/" ^ victim) (classify_durable_open dir)
   done;
-  (* raw framing fuzz: replay of a mutated log must never raise, and with
-     repair off must never consume past the file *)
+  (* raw framing fuzz: segment replay of a mutated log file must never
+     raise, and with repair off must never consume past the file *)
   let wal_path = Filename.concat base "wal_raw" in
   let log = Spitz_storage.Wal.open_log ~sync:Spitz_storage.Wal.Never wal_path in
   for i = 0 to 19 do
     Spitz_storage.Wal.append log (K.value_of ~version:i (K.key_of i))
   done;
   Spitz_storage.Wal.close log;
-  let honest = read_file wal_path in
+  let honest =
+    (* the log is a directory of segments; this one has exactly one *)
+    match files_under wal_path with
+    | [ seg ] -> read_file (Filename.concat wal_path seg)
+    | segs -> failwith (Printf.sprintf "Fuzz.fuzz_wal: %d segments" (List.length segs))
+  in
   let frame_cases = max 1 (cases / 2) in
   for _ = 1 to frame_cases do
     let mutant_path = Filename.concat base "wal_mutant" in
     write_file mutant_path (Mutate.random rng honest);
     let size = (Unix.stat mutant_path).Unix.st_size in
     tally "wal/replay"
-      (match Spitz_storage.Wal.replay ~repair:false mutant_path with
+      (match Spitz_storage.Wal.replay_segment ~repair:false mutant_path with
        | exception e -> Foreign ("replay raised " ^ Printexc.to_string e)
        | res ->
          if res.Spitz_storage.Wal.good_bytes + res.Spitz_storage.Wal.torn_bytes = size

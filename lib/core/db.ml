@@ -299,7 +299,13 @@ exception Corrupt = Object_store.Corrupt
 
 let magic = "SPITZDB1"
 
-let save t path =
+(* [save_with_bodies] snapshots a *pinned* block-address list rather than
+   the live one: a background checkpoint pins the journal under the commit
+   lock, then writes the file outside it while commits proceed. The store
+   dump may then include objects of blocks newer than the pinned list —
+   harmless, because content addressing makes the replay's re-puts
+   idempotent and [rebuild] walks only the listed bodies. *)
+let save_with_bodies t bodies path =
   (* write to a temporary sibling and rename over the target: a crash
      mid-save leaves the previous database file untouched, and rename is
      atomic on POSIX filesystems *)
@@ -313,7 +319,7 @@ let save t path =
           let buf = Wire.writer () in
           Wire.write_string buf t.column;
           Wire.write_byte buf (if t.inverted = None then '\000' else '\001');
-          Wire.write_list buf Wire.write_hash (L.body_hashes (Auditor.ledger t.auditor));
+          Wire.write_list buf Wire.write_hash bodies;
           let header = Wire.contents buf in
           output_binary_int oc (String.length header);
           output_string oc header;
@@ -325,6 +331,8 @@ let save t path =
      raise e);
   Fault.hit "save.before_rename";
   Sys.rename tmp path
+
+let save t path = save_with_bodies t (L.body_hashes (Auditor.ledger t.auditor)) path
 
 (* Rebuild a database around a restored object store: reopen the ledger from
    the block addresses (the hash chain is re-validated on every append),
@@ -406,6 +414,7 @@ let corrupt_guard name f =
   | Invalid_argument msg -> raise (Corrupt (name ^ ": " ^ msg))
   | Not_found -> raise (Corrupt (name ^ ": referenced object missing"))
   | Wire.Malformed msg -> raise (Corrupt (name ^ ": " ^ msg))
+  | Wal.Corrupt msg -> raise (Corrupt (name ^ ": " ^ msg))
 
 (* Snapshot header: magic, column id, inverted flag, block addresses. *)
 let read_snapshot_header ic =
@@ -443,12 +452,38 @@ let load path =
    but does not extend the chain is rejected as corrupt, while a torn tail
    (CRC failure mid-record) is truncated and forgiven. *)
 
+type checkpoint_policy =
+  | Manual
+  | Every_n_bytes of int
+  | Every_n_records of int
+
+type checkpoint_stats = {
+  checkpoints : int;
+  auto_checkpoints : int;
+  failures : int;
+  retired_segments : int;
+  last_error : string option;
+}
+
 type durable = {
   db : t;
   wal : Wal.t;
   dir : string;
   captured : string list ref; (* new store objects since the last log record, newest first *)
   mutable closed : bool;
+  (* checkpointing: [ckpt_lock] serializes checkpoint runs (manual callers
+     against the background thread); the counters are atomics so
+     [checkpoint_stats] never blocks behind a checkpoint in progress *)
+  ckpt_lock : Mutex.t;
+  mutable ckpt_policy : checkpoint_policy;
+  mutable ckpt_domain : unit Domain.t option;
+  ckpt_stop : bool Atomic.t;
+  ckpt_n : int Atomic.t;
+  ckpt_auto : int Atomic.t;
+  ckpt_failures : int Atomic.t;
+  ckpt_retired : int Atomic.t;
+  ckpt_last_error : string option Atomic.t;
+  ckpt_base_records : int Atomic.t; (* WAL record count at the last checkpoint *)
 }
 
 let snapshot_file dir = Filename.concat dir "snapshot"
@@ -529,12 +564,16 @@ let attach_wal db wal captured =
           Fault.hit "commit.after_submit";
           db.wal_ack <- Some (fun () -> Wal.wait wal ticket)))
 
-let open_durable ?(sync = Wal.Always) ?pool ?(column = "v") ?(with_inverted = false) dir =
+let open_durable ?(sync = Wal.Always) ?(repair = true) ?pool ?(column = "v")
+    ?(with_inverted = false) dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   if not (Sys.is_directory dir) then
     invalid_arg ("Db.open_durable: not a directory: " ^ dir);
   let snap = snapshot_file dir in
-  (* a checkpoint that died before its rename leaves a stray temp file *)
+  (* a checkpoint that died before its rename leaves a stray temp file;
+     removed in *both* repair modes — the temps are checkpoint debris, not
+     part of the log, so even a strict (repair:false) open must not leave
+     them to shadow a later checkpoint's temp or leak per crash *)
   (try Sys.remove (snap ^ ".tmp") with Sys_error _ -> ());
   (try Sys.remove (meta_file dir ^ ".tmp") with Sys_error _ -> ());
   (* the identity recorded at creation wins over the caller's defaults *)
@@ -557,9 +596,18 @@ let open_durable ?(sync = Wal.Always) ?pool ?(column = "v") ?(with_inverted = fa
     end
     else (Object_store.create (), column, with_inverted, [])
   in
-  (* 2. replay the log after the checkpoint; a torn tail was already
-     truncated by [Wal.replay] *)
-  let replayed = Wal.replay ~repair:true (wal_file dir) in
+  (* 2. replay the log after the checkpoint. With [repair] (the default) a
+     torn tail of the final segment is truncated in place by [Wal.replay];
+     without it the log is left untouched and a tear is an error — strict
+     mode surfaces damage instead of silently fixing it (and the handle
+     must not append after a tear it did not repair). Damage in a sealed
+     (non-final) segment raises [Wal.Corrupt] in either mode. *)
+  let replayed = corrupt_guard "Db.open_durable(wal)" (fun () -> Wal.replay ~repair (wal_file dir)) in
+  if (not repair) && replayed.Wal.torn_bytes > 0 then
+    raise
+      (Corrupt
+         (Printf.sprintf "Db.open_durable: wal tail is torn (%d bytes) and repair is off"
+            replayed.Wal.torn_bytes));
   let base = List.length bodies in
   let extra =
     corrupt_guard "Db.open_durable(wal)" (fun () ->
@@ -594,24 +642,145 @@ let open_durable ?(sync = Wal.Always) ?pool ?(column = "v") ?(with_inverted = fa
   let wal = Wal.open_log ~sync (wal_file dir) in
   let captured = ref [] in
   attach_wal db wal captured;
-  { db; wal; dir; captured; closed = false }
+  {
+    db;
+    wal;
+    dir;
+    captured;
+    closed = false;
+    ckpt_lock = Mutex.create ();
+    ckpt_policy = Manual;
+    ckpt_domain = None;
+    ckpt_stop = Atomic.make false;
+    ckpt_n = Atomic.make 0;
+    ckpt_auto = Atomic.make 0;
+    ckpt_failures = Atomic.make 0;
+    ckpt_retired = Atomic.make 0;
+    ckpt_last_error = Atomic.make None;
+    ckpt_base_records = Atomic.make (Wal.stats wal).Wal.records;
+  }
+
+(* Checkpoint = claim, then persist.
+
+   Under the commit lock (microseconds): pin the journal's block-address
+   list and rotate the WAL. That pairs the pinned list with the sealed
+   segments exactly — every record in them has height below the pin, every
+   commit after the lock releases lands in the fresh segment at or above it.
+
+   Outside the lock (the long part): write the snapshot of the pinned list
+   (atomic temp+rename inside [save_with_bodies]), fsync the directory so
+   the rename survives power loss, then retire the sealed segments their
+   records now being snapshot-covered. Committers run concurrently with all
+   of it. Crash anywhere and recovery still works: the snapshot rename is
+   atomic, replay skips records below the snapshot's base height, and
+   retirement deletes oldest-first so a half-retired tail is a plain suffix
+   of snapshot-covered segments. *)
+let checkpoint_locked ?(auto = false) d =
+  match
+    let bodies =
+      Mutex.lock d.db.commit_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock d.db.commit_lock)
+        (fun () ->
+           Fault.hit "checkpoint.begin";
+           let bodies = L.body_hashes (Auditor.ledger d.db.auditor) in
+           ignore (Wal.rotate d.wal);
+           Atomic.set d.ckpt_base_records (Wal.stats d.wal).Wal.records;
+           (* every object captured so far is covered by the pinned bodies
+              (captures happen in the commit serial section, under this
+              same lock, and are drained into the WAL record per commit) *)
+           d.captured := [];
+           bodies)
+    in
+    save_with_bodies d.db bodies (snapshot_file d.dir);
+    Fault.hit "checkpoint.save_done";
+    Wal.fsync_dir d.dir;
+    Fault.hit "checkpoint.after_rename";
+    Wal.retire d.wal
+  with
+  | retired ->
+    Atomic.incr d.ckpt_n;
+    if auto then Atomic.incr d.ckpt_auto;
+    ignore (Atomic.fetch_and_add d.ckpt_retired retired)
+  | exception e ->
+    Atomic.incr d.ckpt_failures;
+    Atomic.set d.ckpt_last_error (Some (Printexc.to_string e));
+    raise e
 
 let checkpoint d =
   check_open d "checkpoint";
-  (* hold the commit lock: the snapshot must be a block boundary, and the
-     log reset must not race records of in-flight commits *)
-  Mutex.lock d.db.commit_lock;
+  (* serialize whole checkpoint runs — a manual caller against the
+     background thread — without touching the commit lock *)
+  Mutex.lock d.ckpt_lock;
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock d.db.commit_lock)
-    (fun () ->
-       Fault.hit "checkpoint.begin";
-       (* snapshot to temp + rename ([save] is atomic), then drop the log *)
-       save d.db (snapshot_file d.dir);
-       Wal.fsync_dir d.dir;
-       Fault.hit "checkpoint.after_rename";
-       Wal.reset d.wal;
-       (* objects captured since the last commit are inside the snapshot now *)
-       d.captured := [])
+    ~finally:(fun () -> Mutex.unlock d.ckpt_lock)
+    (fun () -> checkpoint_locked d)
+
+let checkpoint_stats d =
+  {
+    checkpoints = Atomic.get d.ckpt_n;
+    auto_checkpoints = Atomic.get d.ckpt_auto;
+    failures = Atomic.get d.ckpt_failures;
+    retired_segments = Atomic.get d.ckpt_retired;
+    last_error = Atomic.get d.ckpt_last_error;
+  }
+
+let checkpoint_due d =
+  match d.ckpt_policy with
+  | Manual -> false
+  | Every_n_bytes n -> Wal.size d.wal >= max 1 n
+  | Every_n_records n ->
+    (Wal.stats d.wal).Wal.records - Atomic.get d.ckpt_base_records >= max 1 n
+
+(* The background checkpointer is a domain, not a systhread: a systhread
+   would contend for the runtime lock with committer threads for the whole
+   CPU-bound snapshot serialization, inflating commit tail latency — the
+   very thing background checkpoints exist to avoid. A failed attempt
+   backs off exponentially (capped) so a persistent error — disk full,
+   injected crash — cannot spin the loop. *)
+let ckpt_loop d =
+  let min_backoff = 0.002 in
+  let backoff = ref min_backoff in
+  let retry = ref false in
+  while not (Atomic.get d.ckpt_stop) do
+    if !retry || checkpoint_due d then begin
+      Mutex.lock d.ckpt_lock;
+      match
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock d.ckpt_lock)
+          (fun () -> if not (Atomic.get d.ckpt_stop) then checkpoint_locked ~auto:true d)
+      with
+      | () ->
+        backoff := min_backoff;
+        retry := false
+      | exception _ ->
+        (* counted in [ckpt_failures]/[last_error] by [checkpoint_locked].
+           A failed attempt may already have rotated the log and reset the
+           policy counters in phase 1, so [checkpoint_due] alone would never
+           re-fire on a quiet database: always retry after the backoff *)
+        retry := true;
+        Unix.sleepf !backoff;
+        backoff := Float.min (!backoff *. 2.) 0.2
+    end
+    else Unix.sleepf 0.001
+  done
+
+let stop_checkpointer d =
+  match d.ckpt_domain with
+  | None -> ()
+  | Some dom ->
+    Atomic.set d.ckpt_stop true;
+    Domain.join dom;
+    d.ckpt_domain <- None;
+    Atomic.set d.ckpt_stop false
+
+let set_checkpoint_policy d policy =
+  check_open d "set_checkpoint_policy";
+  d.ckpt_policy <- policy;
+  match policy with
+  | Manual -> stop_checkpointer d
+  | Every_n_bytes _ | Every_n_records _ ->
+    if d.ckpt_domain = None then d.ckpt_domain <- Some (Domain.spawn (fun () -> ckpt_loop d))
 
 let sync_durable d =
   check_open d "sync_durable";
@@ -619,8 +788,16 @@ let sync_durable d =
 
 let close_durable d =
   if not d.closed then begin
-    (try Wal.close d.wal with Unix.Unix_error _ -> ());
+    (* stop the background checkpointer before tearing anything down: it
+       may be mid-checkpoint, and joining it is the only safe ordering *)
+    stop_checkpointer d;
     Object_store.set_observer d.db.store None;
     L.set_on_commit (Auditor.ledger d.db.auditor) None;
-    d.closed <- true
+    d.closed <- true;
+    (* last: drain + fsync + close the log, *surfacing* failures — a close
+       that could not flush the pending group-commit batch must not look
+       clean, or acknowledged records silently evaporate. [Wal.close]
+       closes the descriptor even when the drain raises, and the hooks are
+       already detached, so the handle is fully shut either way. *)
+    Wal.close d.wal
   end

@@ -224,53 +224,110 @@ val load : string -> t
 (** {1 Durability: snapshot + write-ahead log}
 
     A durable database lives in a directory holding a [snapshot] (the last
-    checkpoint, {!save} format) and a [wal] (an append-only
-    {!Spitz_storage.Wal} of commits since). Every ledger commit — through
-    {e any} write path of the returned database — appends one log record
-    with the objects the commit added and its block address; the sync policy
-    decides how often the log is fsynced ([Always] / [Group] = every
-    acknowledged commit durable, with concurrent committers coalesced into
-    one write+fsync by the log's leader/follower protocol, [Interval n] =
-    fsync every n records, [Never] = OS-paced). A commit only returns after
-    its log record meets the policy's guarantee — under [Always]/[Group] no
-    committer is acknowledged before its record is on disk.
+    checkpoint, {!save} format) and a [wal] (a directory of numbered
+    append-only {!Spitz_storage.Wal} segments logging the commits since).
+    Every ledger commit — through {e any} write path of the returned
+    database — appends one log record with the objects the commit added and
+    its block address; the sync policy decides how often the log is fsynced
+    ([Always] / [Group] = every acknowledged commit durable, with
+    concurrent committers coalesced into one write+fsync by the log's
+    leader/follower protocol, [Interval n] = fsync every n records,
+    [Never] = OS-paced). A commit only returns after its log record meets
+    the policy's guarantee — under [Always]/[Group] no committer is
+    acknowledged before its record is on disk.
 
     Recovery on {!open_durable} is replay: restore the snapshot, re-apply
-    the log's valid prefix (a torn tail at the first bad CRC is truncated,
-    not rejected), re-validate every journal hash-chain link, and re-walk
-    the chain once more before serving reads. Raises {!Corrupt} if what
-    remains after tail repair does not verify. *)
+    the valid records of every live log segment in order (a torn tail of
+    the {e final} segment at the first bad CRC is truncated, not rejected;
+    damage in an earlier, sealed segment is unrepairable corruption),
+    re-validate every journal hash-chain link, and re-walk the chain once
+    more before serving reads. Raises {!Corrupt} if what remains after
+    tail repair does not verify.
+
+    Checkpoints do not stop the world: {!checkpoint} holds the commit lock
+    only to pin the journal and rotate the log to a fresh segment
+    (microseconds), then writes the snapshot and retires the sealed
+    segments while commits proceed. {!set_checkpoint_policy} runs the same
+    protocol from a background domain when the log grows past a
+    byte/record threshold. *)
 
 type durable
 
 val open_durable :
-  ?sync:Spitz_storage.Wal.sync_policy -> ?pool:Spitz_exec.Pool.t ->
+  ?sync:Spitz_storage.Wal.sync_policy -> ?repair:bool -> ?pool:Spitz_exec.Pool.t ->
   ?column:string -> ?with_inverted:bool -> string -> durable
 (** Open (creating if needed) the durable database in directory [dir].
     [column] / [with_inverted] only apply to a freshly created database; an
     existing database's recorded identity (meta file / snapshot header)
-    wins. Default sync policy: [Always]. *)
+    wins. Default sync policy: [Always].
+
+    [repair] (default [true]) controls torn-tail handling: with it, a torn
+    tail of the log's final segment is truncated in place; without it the
+    log is left byte-identical and a torn tail raises {!Corrupt} — strict
+    mode surfaces damage instead of silently fixing it. Orphaned
+    checkpoint temp files ([snapshot.tmp], [meta.tmp] — debris of a
+    checkpoint that crashed before its atomic rename) are removed in
+    {e both} modes. *)
 
 val durable_db : durable -> t
 (** The live database; all reads and writes go through the normal {!t}
     API — commits reach the log automatically. *)
 
 val checkpoint : durable -> unit
-(** Fold the log into a new snapshot: {!save} to a temp file, atomic
-    rename, then truncate the log. Crash-safe at every step — a failure
-    between rename and truncate only leaves redundant log records, which
-    recovery skips. *)
+(** Fold the log into a new snapshot without stalling committers. Under
+    the commit lock (brief): pin the journal's block addresses and rotate
+    the log to a fresh segment. Outside it: {!save} the pinned state to a
+    temp file, atomic rename, directory fsync, then retire the sealed
+    segments. Crash-safe at every step — a failure after the rename only
+    leaves redundant log records (skipped on replay); a failure during
+    retirement leaves a suffix of snapshot-covered segments (equally
+    skipped). Concurrent calls (including the background checkpointer) are
+    serialized against each other, not against commits. *)
+
+type checkpoint_policy =
+  | Manual                  (** no background checkpoints; call {!checkpoint} *)
+  | Every_n_bytes of int    (** checkpoint when the log exceeds n bytes
+                                (on-disk segments + unflushed batch) *)
+  | Every_n_records of int  (** checkpoint every n logged commits *)
+
+val set_checkpoint_policy : durable -> checkpoint_policy -> unit
+(** Install an automatic checkpoint policy. A non-[Manual] policy starts
+    one background domain that watches the log and runs {!checkpoint} when
+    the threshold trips; [Manual] stops it (joining any checkpoint in
+    progress). A failing background checkpoint is retried with capped
+    exponential backoff and counted in {!checkpoint_stats}. The domain is
+    stopped automatically by {!close_durable}. *)
+
+type checkpoint_stats = {
+  checkpoints : int;          (** completed checkpoints (manual + auto) *)
+  auto_checkpoints : int;     (** completed by the background domain *)
+  failures : int;             (** attempts that raised *)
+  retired_segments : int;     (** log segments deleted by retirement *)
+  last_error : string option; (** most recent failure, if any *)
+}
+
+val checkpoint_stats : durable -> checkpoint_stats
+(** Lifetime checkpoint counters of this handle. Never blocks, even while
+    a checkpoint is running. *)
 
 val sync_durable : durable -> unit
 (** Force an fsync of the log now, regardless of policy. *)
 
 val wal_size : durable -> int
-(** Current log size in bytes (what the next {!checkpoint} will fold in). *)
+(** Current log size in bytes (what the next {!checkpoint} will fold in):
+    all live on-disk segments {e plus} any records still sitting in the
+    unflushed in-memory group-commit batch, so size-triggered checkpoints
+    cannot lag behind unflushed work. *)
 
 val wal_stats : durable -> Spitz_storage.Wal.stats
-(** The log's lifetime records/fsyncs counters — [records /. fsyncs] is the
-    achieved group-commit batch size. *)
+(** The log's counters — lifetime records/fsyncs/rotations ([records /.
+    fsyncs] is the achieved group-commit batch size) and current
+    segments/disk/pending byte figures. *)
 
 val close_durable : durable -> unit
-(** Flush and close the log and detach the commit hooks. Idempotent. The
-    inner {!t} remains usable in memory but no longer logs. *)
+(** Stop the background checkpointer (if any), detach the commit hooks,
+    then drain, fsync and close the log. Idempotent. I/O errors from the
+    final drain/fsync propagate — a close that could not make acknowledged
+    records durable does not look clean (the descriptor and hooks are
+    released regardless). The inner {!t} remains usable in memory but no
+    longer logs. *)

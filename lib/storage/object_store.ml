@@ -320,23 +320,34 @@ let read_varint ic =
   if n < 0 then raise (Corrupt "varint overflows int") else n
 
 let dump t oc =
-  (* one all-shards section, so the count prefix and the stream agree even
-     if someone writes concurrently *)
-  with_all_shards t (fun () ->
-      let count =
-        Array.fold_left (fun acc s -> acc + Hash.Table.length s.objects) 0 t.shards
-      in
-      write_varint oc count;
-      Array.iter
-        (fun s ->
-           Hash.Table.iter
-             (fun h data ->
-                let refcount = Option.value ~default:0 (Hash.Table.find_opt s.refcounts h) in
-                write_varint oc (String.length data);
-                output_string oc data;
-                write_varint oc refcount)
-             s.objects)
-        t.shards)
+  (* collect a reference snapshot of each shard under its own (brief) lock,
+     then write the stream with no locks held: the file write is the long
+     part of a checkpoint, and holding all shards across it would stall
+     every concurrent reader and committer. Objects are immutable and
+     content-addressed, so a put racing the collection merely lands in or
+     misses the snapshot whole — the stream and its count prefix always
+     agree because both come from the collected lists *)
+  let collected =
+    Array.map
+      (fun s ->
+         with_shard s (fun () ->
+             Hash.Table.fold
+               (fun _h data acc ->
+                  let refcount =
+                    Option.value ~default:0 (Hash.Table.find_opt s.refcounts _h)
+                  in
+                  (data, refcount) :: acc)
+               s.objects []))
+      t.shards
+  in
+  let count = Array.fold_left (fun acc l -> acc + List.length l) 0 collected in
+  write_varint oc count;
+  Array.iter
+    (List.iter (fun (data, refcount) ->
+         write_varint oc (String.length data);
+         output_string oc data;
+         write_varint oc refcount))
+    collected
 
 let restore t ic =
   try

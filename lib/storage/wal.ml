@@ -4,7 +4,20 @@ type sync_policy =
   | Never
   | Group of { max_batch : int; max_delay_us : int }
 
-(* Two classes of policy:
+exception Corrupt of string
+
+(* The log is a *directory* of numbered segment files (wal.000001,
+   wal.000002, ...). Appends go to the highest-numbered (active) segment;
+   [rotate] seals it and opens a fresh one — one file create plus a
+   directory fsync, microseconds, so the durable database can rotate under
+   its commit lock and write its checkpoint snapshot outside it; [retire]
+   deletes sealed segments once a snapshot has made their records
+   redundant. Recovery replays every live segment in numeric order: only
+   the last may carry a torn tail (it was the active segment when the
+   process died) — damage in any earlier segment is real corruption, since
+   sealed segments were fully written and fsynced before rotation returned.
+
+   Two classes of sync policy:
 
    - [Interval]/[Never] write each frame at submit time (one [write] per
      record, fsync per policy) — the original behaviour, now under a mutex
@@ -15,18 +28,24 @@ type sync_policy =
      whose batch is not yet durable elects itself leader, swaps the batch
      out (double buffering: new submissions keep landing in the other
      buffer while the leader does I/O), writes every pending frame in a
-     single [write], fsyncs once, and wakes all waiters of that batch.
-     No committer is acknowledged ([wait] returns) before its record is
-     durable. [Group] additionally lets the leader linger up to
-     [max_delay_us] for more committers to arrive when fewer than
-     [max_batch] records are pending. *)
+     single [write], fsyncs once, and wakes all waiters. No committer is
+     acknowledged ([wait] returns) before its record is durable. [Group]
+     additionally lets the leader linger up to [max_delay_us] for more
+     committers to arrive when fewer than [max_batch] records are pending. *)
 
 type t = {
-  path : string;
-  fd : Unix.file_descr;
+  dir : string;
+  mutable seg_id : int;          (* id of the active segment *)
+  mutable fd : Unix.file_descr;  (* active segment, open for append *)
+  mutable seg_bytes : int;       (* bytes written to the active segment *)
+  mutable sealed : (int * int) list; (* sealed segments (id, bytes), oldest first *)
   sync_policy : sync_policy;
   mutable pending : int; (* appends since the last fsync (Interval only) *)
-  mutable bytes : int;   (* bytes written to the file so far *)
+  mutable pending_bytes : int;   (* frame bytes submitted but not yet written
+                                    — the in-memory batch the Group policy
+                                    holds; counted so a size-triggered
+                                    checkpoint cannot lag behind unflushed
+                                    records *)
   mutable closed : bool;
   (* group-commit state, guarded by [m] *)
   m : Mutex.t;
@@ -48,9 +67,17 @@ type t = {
   head : Bytes.t;                  (* preallocated 8-byte frame-header scratch *)
   mutable n_records : int;         (* records submitted over the log's life *)
   mutable n_fsyncs : int;          (* fsyncs issued over the log's life *)
+  mutable n_rotations : int;       (* segment rotations over the log's life *)
 }
 
-type stats = { records : int; fsyncs : int }
+type stats = {
+  records : int;
+  fsyncs : int;
+  rotations : int;
+  segments : int;
+  disk_bytes : int;
+  pending_bytes : int;
+}
 
 type ticket = int
 
@@ -65,15 +92,89 @@ let read_le32 s off =
   let b i = Char.code s.[off + i] in
   b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
 
-let open_log ?(sync = Always) path =
-  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
-  let bytes = (Unix.fstat fd).Unix.st_size in
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+(* --- segment naming --- *)
+
+let segment_name id = Printf.sprintf "wal.%06d" id
+let segment_path dir id = Filename.concat dir (segment_name id)
+
+let segment_of_name name =
+  let n = String.length name in
+  if n >= 10 && String.sub name 0 4 = "wal." then
+    let digits = String.sub name 4 (n - 4) in
+    if String.for_all (fun c -> c >= '0' && c <= '9') digits then
+      int_of_string_opt digits
+    else None
+  else None
+
+(* Live segment ids in the directory, ascending. *)
+let list_segments dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map segment_of_name
+    |> List.sort compare
+
+let file_size path =
+  match Unix.stat path with
+  | { Unix.st_size; _ } -> st_size
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> 0
+
+(* A log written before segmentation is a single regular file at [dir]:
+   adopt it as segment 1. The rename through a [.legacy] sibling makes the
+   migration resumable — a crash at any step leaves either the original
+   file, or the sibling plus (possibly) the directory, and re-running
+   finishes the job. *)
+let migrate_legacy dir =
+  let tmp = dir ^ ".legacy" in
+  if Sys.file_exists dir && not (Sys.is_directory dir) then Sys.rename dir tmp;
+  if Sys.file_exists tmp then begin
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    Sys.rename tmp (segment_path dir 1);
+    fsync_dir dir;
+    fsync_dir (Filename.dirname dir)
+  end
+
+let open_log ?(sync = Always) dir =
+  migrate_legacy dir;
+  if not (Sys.file_exists dir) then begin
+    Sys.mkdir dir 0o755;
+    fsync_dir (Filename.dirname dir)
+  end;
+  if not (Sys.is_directory dir) then
+    invalid_arg ("Wal.open_log: not a directory: " ^ dir);
+  let segs = list_segments dir in
+  let seg_id, sealed, fresh =
+    match List.rev segs with
+    | [] -> (1, [], true)
+    | last :: earlier ->
+      ( last,
+        List.rev_map (fun id -> (id, file_size (segment_path dir id))) earlier,
+        false )
+  in
+  let fd =
+    Unix.openfile (segment_path dir seg_id)
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+      0o644
+  in
+  if fresh then fsync_dir dir;
+  let seg_bytes = (Unix.fstat fd).Unix.st_size in
   {
-    path;
+    dir;
+    seg_id;
     fd;
+    seg_bytes;
+    sealed;
     sync_policy = sync;
     pending = 0;
-    bytes;
+    pending_bytes = 0;
     closed = false;
     m = Mutex.create ();
     flushed = Condition.create ();
@@ -90,12 +191,26 @@ let open_log ?(sync = Always) path =
     head = Bytes.create header_len;
     n_records = 0;
     n_fsyncs = 0;
+    n_rotations = 0;
   }
 
-let path t = t.path
+let path t = t.dir
 let policy t = t.sync_policy
-let size t = t.bytes
-let stats t = { records = t.n_records; fsyncs = t.n_fsyncs }
+
+let disk_bytes t =
+  List.fold_left (fun acc (_, b) -> acc + b) t.seg_bytes t.sealed
+
+let size t = disk_bytes t + t.pending_bytes
+
+let stats t =
+  {
+    records = t.n_records;
+    fsyncs = t.n_fsyncs;
+    rotations = t.n_rotations;
+    segments = List.length t.sealed + 1;
+    disk_bytes = disk_bytes t;
+    pending_bytes = t.pending_bytes;
+  }
 
 let check_open t op = if t.closed then invalid_arg ("Wal." ^ op ^ ": log is closed")
 
@@ -142,24 +257,24 @@ let write_frames t ~ends data =
       (* an exact prefix of records reaches the file, then death *)
       let keep = List.nth ends ((nrecords / 2) - 1) in
       write_all t.fd data 0 keep;
-      t.bytes <- t.bytes + keep;
+      t.seg_bytes <- t.seg_bytes + keep;
       Fault.hit "wal.flush.mid_batch";
       (* the armed countdown survived this hit: finish the batch normally *)
       write_all t.fd data keep (total - keep);
-      t.bytes <- t.bytes + (total - keep)
+      t.seg_bytes <- t.seg_bytes + (total - keep)
     end
     else if Fault.armed "wal.append.torn" then begin
       (* simulate a torn write: half the bytes reach the file, then death *)
       let half = max 1 (total / 2) in
       write_all t.fd data 0 half;
-      t.bytes <- t.bytes + half;
+      t.seg_bytes <- t.seg_bytes + half;
       Fault.hit "wal.append.torn";
       write_all t.fd data half (total - half);
-      t.bytes <- t.bytes + (total - half)
+      t.seg_bytes <- t.seg_bytes + (total - half)
     end
     else begin
       write_all t.fd data 0 total;
-      t.bytes <- t.bytes + total
+      t.seg_bytes <- t.seg_bytes + total
     end
   end;
   Fault.hit "wal.append.before_sync"
@@ -217,6 +332,7 @@ let flush_locked ?(linger = true) t =
   let seq = t.batch in
   let buf = t.active in
   let ends = List.rev t.frame_ends in
+  let taken = Buffer.length buf in
   (* swap the double buffer: new submissions land in the standby while the
      batch just taken is on its way to the disk *)
   t.active <- t.standby;
@@ -234,6 +350,7 @@ let flush_locked ?(linger = true) t =
   t.last_batch_n <- List.length ends;
   Buffer.clear buf;
   Mutex.lock t.m;
+  t.pending_bytes <- t.pending_bytes - taken;
   t.durable_seq <- seq;
   t.flushing <- false;
   (* records already waiting prove other committers are in flight — the
@@ -259,6 +376,7 @@ let submit t record =
       if buffered t then begin
         frame_into t t.active record;
         t.frame_ends <- Buffer.length t.active :: t.frame_ends;
+        t.pending_bytes <- t.pending_bytes + header_len + String.length record;
         t.batch
       end
       else begin
@@ -312,25 +430,76 @@ let sync t =
       if buffered t then drain_locked t else ();
       fsync_unlocked t)
 
-let reset t =
-  check_open t "reset";
+(* --- rotation & retirement --- *)
+
+let rotate t =
+  check_open t "rotate";
   locked t (fun () ->
-      drain_locked t;
-      Buffer.clear t.active;
-      Buffer.clear t.standby;
-      t.frame_ends <- [];
-      Unix.ftruncate t.fd 0;
-      t.bytes <- 0;
-      t.pending <- 0;
-      fsync_unlocked t)
+      (* seal the active segment: every record framed so far must be on its
+         way to *this* file, and the file must be durable before a
+         checkpoint may treat its records as snapshot-covered *)
+      (if buffered t then drain_locked t);
+      fsync_unlocked t;
+      Fault.hit "rotate.begin";
+      let next = t.seg_id + 1 in
+      let fd' =
+        Unix.openfile (segment_path t.dir next)
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+          0o644
+      in
+      (* the new segment's directory entry must survive a crash before any
+         record lands in it — otherwise recovery would replay the sealed
+         segments and then miss the file the next commits went to *)
+      fsync_dir t.dir;
+      Fault.hit "rotate.after_create";
+      Unix.close t.fd;
+      t.sealed <- t.sealed @ [ (t.seg_id, t.seg_bytes) ];
+      t.fd <- fd';
+      t.seg_id <- next;
+      t.seg_bytes <- 0;
+      t.n_rotations <- t.n_rotations + 1;
+      List.map (fun (id, _) -> segment_path t.dir id) t.sealed)
+
+let retire t =
+  check_open t "retire";
+  locked t (fun () ->
+      Fault.hit "checkpoint.before_retire";
+      let n = ref 0 in
+      (* oldest first, updating the sealed list after every deletion, so a
+         crash (or a failing [remove]) leaves the handle agreeing with the
+         directory about what is left *)
+      while t.sealed <> [] do
+        let (id, _), rest = (List.hd t.sealed, List.tl t.sealed) in
+        (try Sys.remove (segment_path t.dir id)
+         with Sys_error _ when not (Sys.file_exists (segment_path t.dir id)) -> ());
+        t.sealed <- rest;
+        incr n;
+        Fault.hit "checkpoint.mid_retire"
+      done;
+      fsync_dir t.dir;
+      !n)
 
 let close t =
-  if not t.closed then begin
-    (try locked t (fun () -> if buffered t then drain_locked t) with _ -> ());
-    (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
-    Unix.close t.fd;
-    t.closed <- true
-  end
+  if not t.closed then
+    Fun.protect
+      ~finally:(fun () ->
+          t.closed <- true;
+          try Unix.close t.fd with Unix.Unix_error _ -> ())
+      (fun () ->
+         (* drain first — a pending group-commit batch silently dying with
+            the handle would lose acknowledged work on weaker policies and
+            submitted-but-unwaited records on all of them — and let I/O
+            errors out: the caller must learn that a "clean" close wasn't.
+            The flush protocol releases [m] around its I/O, so on failure
+            the mutex may or may not be held by this thread; release it
+            only if it is before surfacing the error. *)
+         Mutex.lock t.m;
+         (match if buffered t then drain_locked t with
+          | () -> Mutex.unlock t.m
+          | exception e ->
+            (try Mutex.unlock t.m with Sys_error _ -> ());
+            raise e);
+         Unix.fsync t.fd)
 
 (* --- recovery --- *)
 
@@ -338,10 +507,12 @@ type replay_result = {
   records : string list;
   good_bytes : int;
   torn_bytes : int;
+  live_segments : int;
 }
 
-let replay ?(repair = true) path =
-  if not (Sys.file_exists path) then { records = []; good_bytes = 0; torn_bytes = 0 }
+let replay_segment ?(repair = true) path =
+  if not (Sys.file_exists path) then
+    { records = []; good_bytes = 0; torn_bytes = 0; live_segments = 0 }
   else begin
     let ic = open_in_bin path in
     let result =
@@ -380,7 +551,10 @@ let replay ?(repair = true) path =
                end
              end
            done;
-           { records = List.rev !records; good_bytes = !good; torn_bytes = total - !good })
+           { records = List.rev !records;
+             good_bytes = !good;
+             torn_bytes = total - !good;
+             live_segments = 1 })
     in
     if repair && result.torn_bytes > 0 then begin
       let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
@@ -393,10 +567,35 @@ let replay ?(repair = true) path =
     result
   end
 
-let fsync_dir dir =
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-  | exception Unix.Unix_error _ -> ()
-  | fd ->
-    Fun.protect
-      ~finally:(fun () -> Unix.close fd)
-      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+let replay ?(repair = true) dir =
+  migrate_legacy dir;
+  if not (Sys.file_exists dir) then
+    { records = []; good_bytes = 0; torn_bytes = 0; live_segments = 0 }
+  else begin
+    let segs = list_segments dir in
+    let nsegs = List.length segs in
+    let acc_records = ref [] and acc_good = ref 0 and acc_torn = ref 0 in
+    List.iteri
+      (fun i id ->
+         let path = segment_path dir id in
+         let r = replay_segment ~repair:(repair && i = nsegs - 1) path in
+         (* only the last segment was ever mid-write: a short or CRC-failing
+            frame there is a torn tail to forgive (and, with [repair],
+            truncate in place); the same damage in a sealed segment is bit
+            rot — it was fully written and fsynced before rotation, so
+            nothing after it can be trusted and silently dropping it would
+            break the chain *)
+         if i < nsegs - 1 && r.torn_bytes > 0 then
+           raise
+             (Corrupt
+                (Printf.sprintf "wal: sealed segment %s is damaged (%d bad bytes)"
+                   (segment_name id) r.torn_bytes));
+         acc_records := List.rev_append r.records !acc_records;
+         acc_good := !acc_good + r.good_bytes;
+         acc_torn := !acc_torn + r.torn_bytes)
+      segs;
+    { records = List.rev !acc_records;
+      good_bytes = !acc_good;
+      torn_bytes = !acc_torn;
+      live_segments = nsegs }
+  end

@@ -1,17 +1,36 @@
-(** Durable write-ahead object log with leader/follower group commit.
+(** Durable segmented write-ahead object log with leader/follower group
+    commit.
 
-    An append-only file of opaque records, each framed as
+    The log is a {e directory} of numbered segment files ([wal.000001],
+    [wal.000002], ...). Each segment is an append-only run of opaque
+    records, framed as
 
     {v  length (4 bytes LE) | crc32 (4 bytes LE) | payload  v}
 
     where the CRC covers the length bytes and the payload. The log is the
-    durability gap-filler between snapshots: every ledger commit appends one
-    record, and recovery replays the records on top of the last snapshot.
+    durability gap-filler between snapshots: every ledger commit appends
+    one record to the highest-numbered (active) segment, and recovery
+    replays every live segment in order on top of the last snapshot.
 
-    Recovery ({!replay}) accepts the longest valid prefix: it stops at the
-    first record whose frame is truncated or whose CRC fails and (by
-    default) truncates that torn tail in place — a crash mid-append must
-    never reject the log wholesale, only lose the record(s) being written.
+    {!rotate} seals the active segment and opens the next — one file
+    create plus a directory fsync, microseconds — so a checkpoint can
+    claim "everything up to here" under the database commit lock and then
+    write its snapshot outside it while commits proceed into the new
+    segment. {!retire} deletes sealed segments once a durable snapshot has
+    made their records redundant.
+
+    Recovery ({!replay}) accepts the longest valid prefix of the {e last}
+    segment: it stops at the first record whose frame is truncated or
+    whose CRC fails and (by default) truncates that torn tail in place — a
+    crash mid-append must never reject the log wholesale, only lose the
+    record(s) being written. Sealed (non-final) segments were fully
+    written and fsynced before rotation returned, so damage there is real
+    corruption: replay raises {!Corrupt} rather than silently dropping the
+    records that chained after it.
+
+    A log written before segmentation (a single regular file at the log
+    path) is adopted transparently as segment 1 on the next open or
+    replay.
 
     {2 Group commit}
 
@@ -43,14 +62,22 @@ type sync_policy =
       [max_batch] records are pending — bigger batches, fewer fsyncs, at
       the cost of bounded added latency *)
 
+exception Corrupt of string
+(** Raised by {!replay} when a sealed (non-final) segment is damaged:
+    sealed segments cannot legitimately carry torn tails, so the damage
+    cannot be repaired by truncation without silently losing the records
+    that chained after it. *)
+
 type t
 
 type ticket
 (** A claim on the durability of one submitted record. *)
 
 val open_log : ?sync:sync_policy -> string -> t
-(** Open (creating if absent) the log at [path] for appending; new records
-    go after the existing contents. Default policy: [Always]. *)
+(** Open (creating if absent) the log directory at [path] for appending;
+    new records go to the end of the highest-numbered segment. A legacy
+    single-file log at [path] is migrated into a directory first. Default
+    policy: [Always]. *)
 
 val submit : t -> string -> ticket
 (** Enqueue one record (thread-safe, non-blocking under [Always]/[Group]:
@@ -75,39 +102,79 @@ val append : t -> string -> unit
 val sync : t -> unit
 (** Flush any pending batch and force an fsync now, regardless of policy. *)
 
-val reset : t -> unit
-(** Discard any pending batch and truncate the log to empty — called after
-    a checkpoint has made its records redundant. Must not race in-flight
-    commits (the durable database layer holds its commit lock across
-    checkpoints). *)
+val rotate : t -> string list
+(** Seal the active segment and open the next: drain any pending batch,
+    fsync the active segment (sealed segments are always fully durable,
+    under every policy), create the next numbered segment, fsync the
+    directory, and switch appends over to it. Returns the paths of all
+    sealed segments, oldest first. Thread-safe against concurrent
+    appenders; the records acknowledged before [rotate] returned are
+    exactly the records in the sealed segments. Crash points:
+    ["rotate.begin"] (active segment drained+fsynced, next not yet
+    created), ["rotate.after_create"] (next segment created and durable,
+    switch-over not yet made). *)
+
+val retire : t -> int
+(** Delete every sealed segment, oldest first, then fsync the directory;
+    returns the number of segments deleted. Called after a checkpoint
+    snapshot has made the sealed records redundant. Deleting oldest-first
+    means a crash partway leaves a suffix of the sealed segments — still a
+    valid log whose records are all snapshot-covered. Crash points:
+    ["checkpoint.before_retire"] (nothing deleted yet),
+    ["checkpoint.mid_retire"] (fires after each deletion). *)
 
 val path : t -> string
-val policy : t -> sync_policy
-val size : t -> int
-(** Bytes written to the log file so far (excludes frames still in the
-    in-memory batch; all acknowledged records are included). *)
+(** The log directory. *)
 
-type stats = { records : int; fsyncs : int }
+val policy : t -> sync_policy
+
+val size : t -> int
+(** Total log size in bytes: every live segment on disk {e plus} frames
+    submitted but still sitting in the in-memory group-commit batch — so a
+    size-triggered checkpoint sees acknowledged-or-pending work, not just
+    what the last flush happened to write. *)
+
+type stats = {
+  records : int;       (** records submitted over the handle's lifetime *)
+  fsyncs : int;        (** fsyncs issued over the handle's lifetime *)
+  rotations : int;     (** segment rotations over the handle's lifetime *)
+  segments : int;      (** live segments right now (sealed + active) *)
+  disk_bytes : int;    (** bytes on disk across all live segments *)
+  pending_bytes : int; (** frame bytes in the unflushed in-memory batch *)
+}
 
 val stats : t -> stats
-(** Lifetime counters of this handle: records submitted and fsyncs issued.
-    [records / fsyncs] is the achieved group-commit batch size — 1.0 means
-    no coalescing happened, higher means committers shared flushes. *)
+(** Counters of this handle. [records / fsyncs] is the achieved
+    group-commit batch size — 1.0 means no coalescing happened, higher
+    means committers shared flushes. *)
 
 val close : t -> unit
-(** Flush any pending batch, fsync and close. Idempotent. Must not race
-    concurrent appenders. *)
+(** Drain any pending batch, fsync, and close. Idempotent. I/O errors
+    from the drain or the fsync propagate (the file descriptor is closed
+    regardless) — a close that could not make the last acknowledged
+    records durable must not look clean. Must not race concurrent
+    appenders. *)
 
 type replay_result = {
-  records : string list; (** valid records, in append order *)
-  good_bytes : int;      (** file offset where the valid prefix ends *)
-  torn_bytes : int;      (** bytes after [good_bytes] that were discarded *)
+  records : string list; (** valid records, in append order across segments *)
+  good_bytes : int;      (** total valid bytes across live segments *)
+  torn_bytes : int;      (** bytes discarded from the final segment's tail *)
+  live_segments : int;   (** segments found on disk *)
 }
 
 val replay : ?repair:bool -> string -> replay_result
-(** Read the longest valid record prefix of the log at [path] (missing file
-    = empty log). With [repair] (the default) a torn tail is truncated in
-    place so the next append cannot splice onto garbage. *)
+(** Replay every live segment of the log directory at [path] in order
+    (missing directory = empty log; a legacy single-file log is migrated
+    first). Torn-tail tolerance applies only to the {e last} segment; with
+    [repair] (the default) its torn tail is truncated in place so the next
+    append cannot splice onto garbage. A short or CRC-failing frame in any
+    earlier segment raises {!Corrupt}. *)
+
+val replay_segment : ?repair:bool -> string -> replay_result
+(** Replay one segment {e file} (missing file = empty): the longest valid
+    record prefix, with [repair] truncating a torn tail in place. This is
+    the per-file primitive {!replay} applies to each segment; exposed for
+    tests and fuzzing that target a single segment's framing. *)
 
 val fsync_dir : string -> unit
 (** Fsync a directory, making a rename inside it durable; ignored on

@@ -4,6 +4,9 @@
 #   scripts/bench.sh                      # full sweep, auto pool size
 #   scripts/bench.sh pipeline --domains 4 # any bench/main.exe arguments
 #   scripts/bench.sh durability           # WAL fsync policies + recovery
+#   scripts/bench.sh checkpoint           # commit p50/p95/p99 with background
+#                                         # checkpoints vs none (exits nonzero
+#                                         # on digest/audit mismatch)
 #
 # Table output goes to stdout; the machine-readable results land in
 # BENCH_results.json at the repo root (override with --out FILE).

@@ -339,6 +339,8 @@ let suite =
       (differential "concurrent commits" Differ.check_concurrent_commits 10 0xCC17);
     Alcotest.test_case "differ: concurrent readers linearizable" `Quick
       (differential "concurrent reads" Differ.check_concurrent_reads 10 0x2EAD);
+    Alcotest.test_case "differ: checkpoint storm serializable" `Quick
+      (differential "checkpoint storm" Differ.check_checkpoint_storm 6 0xC4E7);
     Alcotest.test_case "fuzz: 10k+ mutants, zero accepted, zero foreign" `Slow test_fuzz_budget;
     Alcotest.test_case "fuzz: all truncations rejected" `Quick test_decoders_reject_truncations;
     Alcotest.test_case "wire: absurd list length rejected" `Quick test_wire_list_length_cap;

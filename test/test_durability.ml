@@ -35,6 +35,19 @@ let copy_truncated src dst n =
   output_string oc data;
   close_out oc
 
+(* The log is a directory of numbered segments; byte-level corruption tests
+   target individual segment files. *)
+let wal_segments wal_dir =
+  Sys.readdir wal_dir |> Array.to_list
+  |> List.filter (fun f -> String.length f > 4 && String.sub f 0 4 = "wal.")
+  |> List.sort compare
+  |> List.map (Filename.concat wal_dir)
+
+let last_wal_segment wal_dir =
+  match List.rev (wal_segments wal_dir) with
+  | last :: _ -> last
+  | [] -> Alcotest.fail ("no wal segments in " ^ wal_dir)
+
 (* --- CRC32 --- *)
 
 let test_crc32_check_value () =
@@ -70,7 +83,8 @@ let test_wal_torn_tail_every_offset () =
       let w = Wal.open_log path in
       List.iter (Wal.append w) records;
       Wal.close w;
-      let total = Fault.file_size path in
+      let seg = last_wal_segment path in
+      let total = Fault.file_size seg in
       (* frame = 8-byte header + payload *)
       let ends =
         List.rev
@@ -81,8 +95,8 @@ let test_wal_torn_tail_every_offset () =
       in
       for cut = 0 to total - 1 do
         let trunc = Filename.concat dir "trunc" in
-        copy_truncated path trunc cut;
-        let r = Wal.replay ~repair:false trunc in
+        copy_truncated seg trunc cut;
+        let r = Wal.replay_segment ~repair:false trunc in
         (* the valid prefix is exactly the records whose frames fit *)
         let expect = List.length (List.filter (fun e -> e > 0 && e <= cut) ends) in
         Alcotest.(check int)
@@ -107,11 +121,12 @@ let test_wal_bitflip_tail () =
       Wal.close w;
       (* flip a bit inside the second record's payload: replay must keep the
          first record only, and repair must truncate the file there *)
-      Fault.flip_bit path ~byte:(sz_after_first + 10) ~bit:3;
+      let seg = last_wal_segment path in
+      Fault.flip_bit seg ~byte:(sz_after_first + 10) ~bit:3;
       let r = Wal.replay ~repair:true path in
       Alcotest.(check (list string)) "prefix before the flip" [ "first-record" ] r.Wal.records;
       Alcotest.(check bool) "tail discarded" true (r.Wal.torn_bytes > 0);
-      Alcotest.(check int) "file repaired" sz_after_first (Fault.file_size path);
+      Alcotest.(check int) "file repaired" sz_after_first (Fault.file_size seg);
       (* the repaired log accepts appends again *)
       let w = Wal.open_log path in
       Wal.append w "fourth";
@@ -129,11 +144,17 @@ let test_wal_submit_wait_coalesce () =
       let t1 = Wal.submit w "one" in
       let t2 = Wal.submit w "two" in
       let t3 = Wal.submit w "three" in
-      Alcotest.(check int) "nothing written before wait" 0 (Wal.size w);
+      let batch_bytes = (3 * 8) + String.length "onetwothree" in
+      Alcotest.(check int) "nothing on disk before wait" 0 (Wal.stats w).Wal.disk_bytes;
+      (* the unflushed batch is visible in size — a size-triggered
+         checkpoint must see submitted-but-unflushed work *)
+      Alcotest.(check int) "pending bytes counted" batch_bytes (Wal.stats w).Wal.pending_bytes;
+      Alcotest.(check int) "size includes pending" batch_bytes (Wal.size w);
       (* one wait drives the whole batch durable — for every ticket *)
       Wal.wait w t2;
-      Alcotest.(check int) "whole batch written" (3 * 8 + String.length "onetwothree")
-        (Wal.size w);
+      Alcotest.(check int) "whole batch written" batch_bytes (Wal.stats w).Wal.disk_bytes;
+      Alcotest.(check int) "nothing pending after flush" 0 (Wal.stats w).Wal.pending_bytes;
+      Alcotest.(check int) "size agrees" batch_bytes (Wal.size w);
       Wal.wait w t1;
       Wal.wait w t3;
       Wal.close w;
@@ -539,14 +560,22 @@ let test_crash_during_commit () = crash_during_commit ~sync:Wal.Always ()
 let test_crash_during_commit_group () =
   crash_during_commit ~sync:(Wal.Group { max_batch = 4; max_delay_us = 200 }) ()
 
+(* Every step of the non-blocking checkpoint protocol, in order: pin+rotate
+   under the commit lock (begin, rotate.begin, rotate.after_create), the
+   snapshot write outside it (save.before_rename, save_done), the directory
+   fsync (after_rename), and segment retirement (before_retire, mid_retire).
+   A crash at any of them must lose nothing: every commit was durable in
+   some live segment or in the freshly renamed snapshot. *)
 let checkpoint_crash_sites =
-  [ "checkpoint.begin"; "save.before_rename"; "checkpoint.after_rename" ]
+  [ "checkpoint.begin"; "rotate.begin"; "rotate.after_create"; "save.before_rename";
+    "checkpoint.save_done"; "checkpoint.after_rename"; "checkpoint.before_retire";
+    "checkpoint.mid_retire" ]
 
-let test_crash_during_checkpoint () =
+let crash_during_checkpoint ~sync () =
   List.iter
     (fun site ->
        with_dir (fun dir ->
-           let d = Db.open_durable ~sync:Wal.Always dir in
+           let d = Db.open_durable ~sync dir in
            let db = Db.durable_db d in
            for i = 0 to 4 do
              ignore (Db.put db (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i))
@@ -578,6 +607,62 @@ let test_crash_during_checkpoint () =
            Db.close_durable d''))
     checkpoint_crash_sites
 
+let test_crash_during_checkpoint () = crash_during_checkpoint ~sync:Wal.Always ()
+
+let test_crash_during_checkpoint_group () =
+  crash_during_checkpoint ~sync:(Wal.Group { max_batch = 4; max_delay_us = 200 }) ()
+
+(* The nastiest shapes the segmented protocol can leave on disk: several
+   live segments all still carrying needed records (a checkpoint died
+   mid-rotation), and a half-retired tail (a checkpoint died between
+   segment deletions, after its snapshot was already live). *)
+let crash_multi_segment ~sync () =
+  with_dir (fun dir ->
+      let d = Db.open_durable ~sync dir in
+      let db = Db.durable_db d in
+      for i = 0 to 2 do
+        ignore (Db.put db (Printf.sprintf "a%d" i) "v")
+      done;
+      (* die mid-rotation: two live segments, the snapshot covers neither *)
+      Fault.arm "rotate.after_create";
+      (match Db.checkpoint d with
+       | exception Fault.Crash _ -> ()
+       | () -> Alcotest.fail "rotate.after_create did not fire");
+      Fault.reset ();
+      let d = Db.open_durable dir in
+      let db = Db.durable_db d in
+      Alcotest.(check int) "all commits survive mid-rotation crash" 3
+        (Db.digest db).Spitz_ledger.Journal.size;
+      for i = 0 to 2 do
+        ignore (Db.put db (Printf.sprintf "b%d" i) "v")
+      done;
+      Alcotest.(check bool) "multiple live segments" true
+        (List.length (wal_segments (Filename.concat dir "wal")) >= 2);
+      (* die mid-retirement: the snapshot is live, a suffix of the sealed
+         segments remains — every record in it redundant *)
+      Fault.arm "checkpoint.mid_retire";
+      (match Db.checkpoint d with
+       | exception Fault.Crash _ -> ()
+       | () -> Alcotest.fail "checkpoint.mid_retire did not fire");
+      Fault.reset ();
+      let d = Db.open_durable dir in
+      let db = Db.durable_db d in
+      Alcotest.(check int) "all commits survive half-retired tail" 6
+        (Db.digest db).Spitz_ledger.Journal.size;
+      Alcotest.(check bool) "chain verifies" true (Db.audit db);
+      ignore (Db.put db "post" "v");
+      Db.close_durable d;
+      let d = Db.open_durable dir in
+      Alcotest.(check int) "accepts commits after both crashes" 7
+        (Db.digest (Db.durable_db d)).Spitz_ledger.Journal.size;
+      Alcotest.(check bool) "final audit" true (Db.audit (Db.durable_db d));
+      Db.close_durable d)
+
+let test_crash_multi_segment () = crash_multi_segment ~sync:Wal.Always ()
+
+let test_crash_multi_segment_group () =
+  crash_multi_segment ~sync:(Wal.Group { max_batch = 4; max_delay_us = 200 }) ()
+
 let test_durable_torn_log_file () =
   with_dir (fun dir ->
       let d = Db.open_durable ~sync:Wal.Always dir in
@@ -587,8 +672,8 @@ let test_durable_torn_log_file () =
       done;
       Db.close_durable d;
       (* rip bytes off the log's tail: the last commit becomes torn *)
-      let wal = Filename.concat dir "wal" in
-      Fault.truncate_file wal (Fault.file_size wal - 5);
+      let seg = last_wal_segment (Filename.concat dir "wal") in
+      Fault.truncate_file seg (Fault.file_size seg - 5);
       let d' = Db.open_durable dir in
       let db' = Db.durable_db d' in
       Alcotest.(check int) "torn commit dropped" 2
@@ -614,8 +699,8 @@ let test_durable_corrupt_log_record () =
       Db.close_durable d;
       (* bit rot in the middle of the log: everything from the first bad CRC
          on is treated as torn — the durable prefix before it survives *)
-      let wal = Filename.concat dir "wal" in
-      Fault.flip_bit wal ~byte:(Fault.file_size wal / 2) ~bit:5;
+      let seg = last_wal_segment (Filename.concat dir "wal") in
+      Fault.flip_bit seg ~byte:(Fault.file_size seg / 2) ~bit:5;
       let d' = Db.open_durable dir in
       let db' = Db.durable_db d' in
       let size = (Db.digest db').Spitz_ledger.Journal.size in
@@ -678,8 +763,8 @@ let test_durable_concurrent_torn_tail () =
       Db.close_durable d;
       (* rip the tail off the log a concurrent run produced: the torn last
          record is dropped, everything before it recovers and audits *)
-      let wal = Filename.concat dir "wal" in
-      Fault.truncate_file wal (Fault.file_size wal - 5);
+      let seg = last_wal_segment (Filename.concat dir "wal") in
+      Fault.truncate_file seg (Fault.file_size seg - 5);
       let d' = Db.open_durable dir in
       let db' = Db.durable_db d' in
       Alcotest.(check int) "exactly the torn commit lost" 19
@@ -691,6 +776,438 @@ let test_durable_concurrent_torn_tail () =
       Alcotest.(check int) "accepts commits after repair" 20
         (Db.digest (Db.durable_db d'')).Spitz_ledger.Journal.size;
       Db.close_durable d'')
+
+(* --- segmented log: rotation & retirement --- *)
+
+let test_wal_rotate_retire () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "log" in
+      let w = Wal.open_log ~sync:Wal.Always path in
+      Wal.append w "a";
+      Wal.append w "b";
+      let sealed = Wal.rotate w in
+      Alcotest.(check int) "one sealed segment" 1 (List.length sealed);
+      Wal.append w "c";
+      ignore (Wal.rotate w);
+      Wal.append w "d";
+      let s = Wal.stats w in
+      Alcotest.(check int) "rotations counted" 2 s.Wal.rotations;
+      Alcotest.(check int) "three live segments" 3 s.Wal.segments;
+      (* replay stitches the segments in order *)
+      let r = Wal.replay path in
+      Alcotest.(check (list string)) "records across segments" [ "a"; "b"; "c"; "d" ]
+        r.Wal.records;
+      Alcotest.(check int) "live segments reported" 3 r.Wal.live_segments;
+      (* reopen of a multi-segment log appends to the last segment *)
+      Wal.close w;
+      let w = Wal.open_log ~sync:Wal.Always path in
+      Alcotest.(check int) "segments survive reopen" 3 (Wal.stats w).Wal.segments;
+      Wal.append w "e";
+      Alcotest.(check (list string)) "append goes to the tail" [ "a"; "b"; "c"; "d"; "e" ]
+        (Wal.replay path).Wal.records;
+      (* retirement deletes exactly the sealed segments, oldest first *)
+      let retired = Wal.retire w in
+      Alcotest.(check int) "two segments retired" 2 retired;
+      Alcotest.(check int) "only the active segment left" 1
+        (List.length (wal_segments path));
+      Alcotest.(check (list string)) "active records survive retirement" [ "d"; "e" ]
+        (Wal.replay path).Wal.records;
+      Wal.close w)
+
+let test_wal_sealed_corruption_raises () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "log" in
+      let w = Wal.open_log ~sync:Wal.Always path in
+      Wal.append w "first-segment-record";
+      ignore (Wal.rotate w);
+      Wal.append w "second-segment-record";
+      Wal.close w;
+      (* damage in a *sealed* segment is bit rot, not a torn tail: replay
+         must refuse, never silently drop the records that chained after *)
+      let seg1 = List.hd (wal_segments path) in
+      Fault.truncate_file seg1 (Fault.file_size seg1 - 3);
+      (match Wal.replay path with
+       | exception Wal.Corrupt _ -> ()
+       | r ->
+         Alcotest.failf "sealed damage silently accepted (%d records)"
+           (List.length r.Wal.records)))
+
+let test_wal_legacy_single_file_migrates () =
+  with_dir (fun dir ->
+      (* fabricate the old layout: one plain frame file at the log path *)
+      let mk = Filename.concat dir "mk" in
+      let w = Wal.open_log ~sync:Wal.Always mk in
+      List.iter (Wal.append w) [ "l0"; "l1"; "l2" ];
+      Wal.close w;
+      let path = Filename.concat dir "log" in
+      Sys.rename (last_wal_segment mk) path;
+      (* replay adopts the file as segment 1 inside a fresh directory *)
+      let r = Wal.replay path in
+      Alcotest.(check (list string)) "legacy records adopted" [ "l0"; "l1"; "l2" ] r.Wal.records;
+      Alcotest.(check bool) "path is a directory now" true (Sys.is_directory path);
+      (* and the migrated log keeps working *)
+      let w = Wal.open_log ~sync:Wal.Always path in
+      Wal.append w "l3";
+      Wal.close w;
+      Alcotest.(check (list string)) "appends after migration" [ "l0"; "l1"; "l2"; "l3" ]
+        (Wal.replay path).Wal.records)
+
+let test_durable_legacy_wal_layout () =
+  with_dir (fun dir ->
+      let d = Db.open_durable ~sync:Wal.Always dir in
+      let db = Db.durable_db d in
+      for i = 0 to 2 do
+        ignore (Db.put db (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i))
+      done;
+      let digest = Db.digest db in
+      Db.close_durable d;
+      (* flatten the log back to the pre-segmentation layout: a single
+         frame file at [dir/wal] *)
+      let waldir = Filename.concat dir "wal" in
+      let seg = last_wal_segment waldir in
+      let stash = Filename.concat dir "walbytes" in
+      Sys.rename seg stash;
+      List.iter Sys.remove (wal_segments waldir);
+      Sys.rmdir waldir;
+      Sys.rename stash waldir;
+      (* an old database opens, migrates, and keeps committing *)
+      let d' = Db.open_durable dir in
+      let db' = Db.durable_db d' in
+      Alcotest.(check bool) "legacy database digest identical" true
+        (Spitz_crypto.Hash.equal digest.Spitz_ledger.Journal.root
+           (Db.digest db').Spitz_ledger.Journal.root);
+      Alcotest.(check bool) "audit" true (Db.audit db');
+      ignore (Db.put db' "post" "migration");
+      Db.close_durable d';
+      let d'' = Db.open_durable dir in
+      Alcotest.(check int) "commits after migration durable" 4
+        (Db.digest (Db.durable_db d'')).Spitz_ledger.Journal.size;
+      Db.close_durable d'')
+
+(* --- satellite bugfix: close drains the pending batch and surfaces errors --- *)
+
+let test_wal_close_drains_pending () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "log" in
+      let w = Wal.open_log ~sync:(Wal.Group { max_batch = 64; max_delay_us = 50_000 }) path in
+      (* submitted, never waited on: the batch sits in memory *)
+      ignore (Wal.submit w "p0");
+      ignore (Wal.submit w "p1");
+      Alcotest.(check int) "batch pending before close" 0 (Wal.stats w).Wal.disk_bytes;
+      Wal.close w;
+      Alcotest.(check (list string)) "close drained the batch" [ "p0"; "p1" ]
+        (Wal.replay path).Wal.records)
+
+let test_wal_close_surfaces_errors () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "log" in
+      let w = Wal.open_log ~sync:Wal.Always path in
+      ignore (Wal.submit w "p0");
+      (* the close-time drain dies before its fsync: the failure must reach
+         the caller — the old close swallowed it and looked clean *)
+      Fault.arm "wal.append.before_sync";
+      (match Wal.close w with
+       | exception Fault.Crash _ -> ()
+       | () -> Alcotest.fail "close swallowed the drain failure");
+      Fault.reset ();
+      (* the descriptor is released and the handle is closed regardless *)
+      (match Wal.submit w "p1" with
+       | exception Invalid_argument _ -> ()
+       | _ -> Alcotest.fail "handle still open after failed close");
+      (* the record reached the file before the fault (only the fsync was
+         lost), so replay may keep it; it must never splice garbage *)
+      Alcotest.(check (list string)) "written batch replays" [ "p0" ]
+        (Wal.replay path).Wal.records)
+
+(* --- satellite bugfix: orphaned checkpoint temps + strict (repair:false) opens --- *)
+
+let test_orphan_tmp_removed_strict_open () =
+  with_dir (fun dir ->
+      let d = Db.open_durable ~sync:Wal.Always dir in
+      let db = Db.durable_db d in
+      for i = 0 to 2 do
+        ignore (Db.put db (Printf.sprintf "k%d" i) "v")
+      done;
+      let digest = Db.digest db in
+      Fault.arm "save.before_rename";
+      (match Db.checkpoint d with
+       | exception Fault.Crash _ -> ()
+       | () -> Alcotest.fail "save.before_rename did not fire");
+      Fault.reset ();
+      let tmp = Filename.concat dir "snapshot.tmp" in
+      Alcotest.(check bool) "crash left the temp file" true (Sys.file_exists tmp);
+      (* a strict open must also clean the checkpoint debris *)
+      let d' = Db.open_durable ~repair:false dir in
+      Alcotest.(check bool) "orphan temp removed by strict open" false (Sys.file_exists tmp);
+      let db' = Db.durable_db d' in
+      Alcotest.(check bool) "digest identical" true
+        (Spitz_crypto.Hash.equal digest.Spitz_ledger.Journal.root
+           (Db.digest db').Spitz_ledger.Journal.root);
+      Alcotest.(check bool) "audit" true (Db.audit db');
+      Db.close_durable d')
+
+let test_strict_open_rejects_torn_tail () =
+  with_dir (fun dir ->
+      let d = Db.open_durable ~sync:Wal.Always dir in
+      let db = Db.durable_db d in
+      for i = 0 to 2 do
+        ignore (Db.put db (Printf.sprintf "k%d" i) "v")
+      done;
+      Db.close_durable d;
+      let seg = last_wal_segment (Filename.concat dir "wal") in
+      Fault.truncate_file seg (Fault.file_size seg - 5);
+      let torn_size = Fault.file_size seg in
+      (* strict mode surfaces the tear instead of silently repairing it *)
+      (match Db.open_durable ~repair:false dir with
+       | exception Db.Corrupt _ -> ()
+       | _ -> Alcotest.fail "strict open accepted a torn tail");
+      Alcotest.(check int) "strict open left the log untouched" torn_size
+        (Fault.file_size seg);
+      (* the default open repairs and recovers the prefix *)
+      let d' = Db.open_durable dir in
+      Alcotest.(check int) "repairing open recovers the prefix" 2
+        (Db.digest (Db.durable_db d')).Spitz_ledger.Journal.size;
+      Alcotest.(check bool) "audit" true (Db.audit (Db.durable_db d'));
+      Db.close_durable d')
+
+(* --- multi-segment corruption sweeps --- *)
+
+let rec copy_tree src dst =
+  if Sys.is_directory src then begin
+    if not (Sys.file_exists dst) then Sys.mkdir dst 0o755;
+    Array.iter
+      (fun f -> copy_tree (Filename.concat src f) (Filename.concat dst f))
+      (Sys.readdir src)
+  end
+  else begin
+    let ic = open_in_bin src in
+    let data = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let oc = open_out_bin dst in
+    output_string oc data;
+    close_out oc
+  end
+
+(* Frame end offsets of one segment file — truncating exactly there leaves
+   whole records, the damage the CRC cannot see and only the Db-level
+   height-contiguity check can. *)
+let frame_ends path =
+  let ic = open_in_bin path in
+  let total = in_channel_length ic in
+  let ends = ref [] in
+  let off = ref 0 in
+  (try
+     while !off + 8 <= total do
+       let head = really_input_string ic 8 in
+       let len =
+         Char.code head.[0] lor (Char.code head.[1] lsl 8)
+         lor (Char.code head.[2] lsl 16)
+         lor (Char.code head.[3] lsl 24)
+       in
+       seek_in ic (!off + 8 + len);
+       off := !off + 8 + len;
+       ends := !off :: !ends
+     done
+   with _ -> ());
+  close_in ic;
+  List.rev !ends
+
+(* A database whose log spans two live segments that *both* carry needed
+   records (no snapshot covers either): three commits, a checkpoint killed
+   mid-rotation, three more commits into the fresh segment. *)
+let build_two_segment_db base =
+  let d = Db.open_durable ~sync:Wal.Always base in
+  let db = Db.durable_db d in
+  for i = 0 to 2 do
+    ignore (Db.put db (Printf.sprintf "a%d" i) "v")
+  done;
+  Fault.arm "rotate.after_create";
+  (match Db.checkpoint d with
+   | exception Fault.Crash _ -> ()
+   | () -> Alcotest.fail "rotate.after_create did not fire");
+  Fault.reset ();
+  let d = Db.open_durable base in
+  let db = Db.durable_db d in
+  for i = 0 to 2 do
+    ignore (Db.put db (Printf.sprintf "b%d" i) "v")
+  done;
+  Db.close_durable d
+
+let test_multi_segment_corruption_sweep () =
+  with_dir (fun dir ->
+      let base = Filename.concat dir "base" in
+      build_two_segment_db base;
+      let segs = wal_segments (Filename.concat base "wal") in
+      Alcotest.(check int) "two live segments" 2 (List.length segs);
+      let seg_name i = Filename.basename (List.nth segs i) in
+      let victim = Filename.concat dir "victim" in
+      let with_victim corrupt check =
+        if Sys.file_exists victim then rm_rf victim;
+        copy_tree base victim;
+        corrupt (Filename.concat (Filename.concat victim "wal") (seg_name 0))
+          (Filename.concat (Filename.concat victim "wal") (seg_name 1));
+        check (fun () -> Db.open_durable victim)
+      in
+      let must_reject what open_db =
+        match open_db () with
+        | exception Db.Corrupt _ -> ()
+        | exception e -> Alcotest.failf "%s leaked %s" what (Printexc.to_string e)
+        | d ->
+          Db.close_durable d;
+          Alcotest.failf "%s silently accepted" what
+      in
+      let must_recover what ~min_height open_db =
+        match open_db () with
+        | exception Db.Corrupt _ -> ()
+        | exception e -> Alcotest.failf "%s leaked %s" what (Printexc.to_string e)
+        | d ->
+          let db = Db.durable_db d in
+          let h = (Db.digest db).Spitz_ledger.Journal.size in
+          if h < min_height || h > 6 then
+            Alcotest.failf "%s recovered to impossible height %d" what h;
+          if not (Db.audit db) then Alcotest.failf "%s recovered but fails audit" what;
+          Db.close_durable d
+      in
+      let size1 = Fault.file_size (List.nth segs 0) in
+      let size2 = Fault.file_size (List.nth segs 1) in
+      (* byte-level truncation of the sealed segment: mid-frame cuts break
+         the CRC, record-boundary cuts can only be caught by the chain —
+         every one must reject, never silently truncate history *)
+      let step1 = max 1 (size1 / 40) in
+      let cut = ref 0 in
+      while !cut < size1 do
+        let c = !cut in
+        with_victim
+          (fun s1 _ -> Fault.truncate_file s1 c)
+          (must_reject (Printf.sprintf "sealed segment cut at %d" c));
+        cut := !cut + step1
+      done;
+      List.iter
+        (fun e ->
+           if e < size1 then
+             with_victim
+               (fun s1 _ -> Fault.truncate_file s1 e)
+               (must_reject (Printf.sprintf "sealed segment cut at boundary %d" e)))
+        (frame_ends (List.nth segs 0));
+      (* bit flips in the sealed segment: always a reject *)
+      let off = ref 0 in
+      while !off < size1 do
+        let o = !off in
+        with_victim
+          (fun s1 _ -> Fault.flip_bit s1 ~byte:o ~bit:(o mod 8))
+          (must_reject (Printf.sprintf "sealed segment flip at %d" o));
+        off := !off + step1
+      done;
+      (* the *final* segment keeps torn-tail semantics: truncation or rot
+         loses a suffix of its records, never the sealed prefix, and the
+         recovered database always audits *)
+      let step2 = max 1 (size2 / 40) in
+      cut := 0;
+      while !cut < size2 do
+        let c = !cut in
+        with_victim
+          (fun _ s2 -> Fault.truncate_file s2 c)
+          (must_recover (Printf.sprintf "final segment cut at %d" c) ~min_height:3);
+        cut := !cut + step2
+      done;
+      off := 0;
+      while !off < size2 do
+        let o = !off in
+        with_victim
+          (fun _ s2 -> Fault.flip_bit s2 ~byte:o ~bit:(o mod 8))
+          (must_recover (Printf.sprintf "final segment flip at %d" o) ~min_height:3);
+        off := !off + step2
+      done)
+
+(* --- automatic checkpoint policies --- *)
+
+let wait_until ?(timeout_s = 30.) pred msg =
+  let t0 = Unix.gettimeofday () in
+  while (not (pred ())) && Unix.gettimeofday () -. t0 < timeout_s do
+    Unix.sleepf 0.005
+  done;
+  if not (pred ()) then Alcotest.fail msg
+
+let test_auto_checkpoint_bytes () =
+  with_dir (fun dir ->
+      let d = Db.open_durable ~sync:Wal.Always dir in
+      let db = Db.durable_db d in
+      Db.set_checkpoint_policy d (Db.Every_n_bytes 256);
+      for i = 0 to 19 do
+        ignore (Db.put db (Printf.sprintf "k%02d" i) (String.make 64 'x'))
+      done;
+      wait_until
+        (fun () -> (Db.checkpoint_stats d).Db.auto_checkpoints >= 1)
+        "background checkpointer never fired on byte threshold";
+      (* once commits stop, the log settles below the threshold *)
+      wait_until
+        (fun () -> Db.wal_size d < 256)
+        "log never shrank below the byte threshold";
+      let stats = Db.checkpoint_stats d in
+      Alcotest.(check int) "no failures" 0 stats.Db.failures;
+      Alcotest.(check bool) "segments retired" true (stats.Db.retired_segments >= 1);
+      Db.set_checkpoint_policy d Db.Manual;
+      let digest = Db.digest db in
+      Db.close_durable d;
+      let d' = Db.open_durable dir in
+      Alcotest.(check int) "all commits recovered" 20
+        (Db.digest (Db.durable_db d')).Spitz_ledger.Journal.size;
+      Alcotest.(check bool) "digest identical" true
+        (Spitz_crypto.Hash.equal digest.Spitz_ledger.Journal.root
+           (Db.digest (Db.durable_db d')).Spitz_ledger.Journal.root);
+      Alcotest.(check bool) "audit" true (Db.audit (Db.durable_db d'));
+      Db.close_durable d')
+
+let test_auto_checkpoint_records () =
+  with_dir (fun dir ->
+      let d = Db.open_durable ~sync:(Wal.Group { max_batch = 8; max_delay_us = 100 }) dir in
+      let db = Db.durable_db d in
+      Db.set_checkpoint_policy d (Db.Every_n_records 4);
+      for i = 0 to 11 do
+        ignore (Db.put db (Printf.sprintf "r%02d" i) "v")
+      done;
+      wait_until
+        (fun () -> (Db.checkpoint_stats d).Db.auto_checkpoints >= 1)
+        "background checkpointer never fired on record threshold";
+      Db.set_checkpoint_policy d Db.Manual;
+      let digest = Db.digest db in
+      Db.close_durable d;
+      let d' = Db.open_durable dir in
+      Alcotest.(check int) "all commits recovered" 12
+        (Db.digest (Db.durable_db d')).Spitz_ledger.Journal.size;
+      Alcotest.(check bool) "digest identical" true
+        (Spitz_crypto.Hash.equal digest.Spitz_ledger.Journal.root
+           (Db.digest (Db.durable_db d')).Spitz_ledger.Journal.root);
+      Db.close_durable d')
+
+let test_auto_checkpoint_retries_after_failure () =
+  with_dir (fun dir ->
+      let d = Db.open_durable ~sync:Wal.Always dir in
+      let db = Db.durable_db d in
+      for i = 0 to 4 do
+        ignore (Db.put db (Printf.sprintf "f%d" i) "v")
+      done;
+      (* the first background attempt dies mid-save; the next must succeed *)
+      Fault.arm "save.before_rename";
+      Db.set_checkpoint_policy d (Db.Every_n_records 1);
+      wait_until
+        (fun () -> (Db.checkpoint_stats d).Db.failures >= 1)
+        "injected checkpoint failure never counted";
+      wait_until
+        (fun () -> (Db.checkpoint_stats d).Db.checkpoints >= 1)
+        "checkpointer never recovered from the failure";
+      Fault.reset ();
+      let stats = Db.checkpoint_stats d in
+      Alcotest.(check bool) "failure recorded" true (stats.Db.last_error <> None);
+      Db.set_checkpoint_policy d Db.Manual;
+      let digest = Db.digest db in
+      Db.close_durable d;
+      let d' = Db.open_durable dir in
+      Alcotest.(check bool) "digest identical after failure + retry" true
+        (Spitz_crypto.Hash.equal digest.Spitz_ledger.Journal.root
+           (Db.digest (Db.durable_db d')).Spitz_ledger.Journal.root);
+      Alcotest.(check bool) "audit" true (Db.audit (Db.durable_db d'));
+      Db.close_durable d')
 
 let test_durable_concurrent_checkpoint () =
   with_dir (fun dir ->
@@ -749,6 +1266,31 @@ let suite =
     Alcotest.test_case "crash at every commit site (group)" `Quick
       test_crash_during_commit_group;
     Alcotest.test_case "crash at every checkpoint site" `Quick test_crash_during_checkpoint;
+    Alcotest.test_case "crash at every checkpoint site (group)" `Quick
+      test_crash_during_checkpoint_group;
+    Alcotest.test_case "multi-segment crash shapes" `Quick test_crash_multi_segment;
+    Alcotest.test_case "multi-segment crash shapes (group)" `Quick
+      test_crash_multi_segment_group;
+    Alcotest.test_case "wal rotate + retire" `Quick test_wal_rotate_retire;
+    Alcotest.test_case "wal sealed-segment damage raises" `Quick
+      test_wal_sealed_corruption_raises;
+    Alcotest.test_case "wal legacy single file migrates" `Quick
+      test_wal_legacy_single_file_migrates;
+    Alcotest.test_case "durable legacy wal layout migrates" `Quick
+      test_durable_legacy_wal_layout;
+    Alcotest.test_case "wal close drains pending batch" `Quick test_wal_close_drains_pending;
+    Alcotest.test_case "wal close surfaces errors" `Quick test_wal_close_surfaces_errors;
+    Alcotest.test_case "orphan checkpoint temp removed on strict open" `Quick
+      test_orphan_tmp_removed_strict_open;
+    Alcotest.test_case "strict open rejects torn tail" `Quick
+      test_strict_open_rejects_torn_tail;
+    Alcotest.test_case "multi-segment corruption sweep" `Quick
+      test_multi_segment_corruption_sweep;
+    Alcotest.test_case "auto checkpoint: byte threshold" `Quick test_auto_checkpoint_bytes;
+    Alcotest.test_case "auto checkpoint: record threshold" `Quick
+      test_auto_checkpoint_records;
+    Alcotest.test_case "auto checkpoint retries after failure" `Quick
+      test_auto_checkpoint_retries_after_failure;
     Alcotest.test_case "torn log tail recovers" `Quick test_durable_torn_log_file;
     Alcotest.test_case "corrupt log record recovers" `Quick test_durable_corrupt_log_record;
     Alcotest.test_case "concurrent committers recover" `Quick

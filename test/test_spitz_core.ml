@@ -292,6 +292,11 @@ let test_db_snapshot_atomic_under_commits () =
       if v <> Some "0" then incr bad;
       if not (Db.verify_read ~digest:d ~key:"seed" ~value:v p) then incr bad
   done;
+  (* on a single-core box the snapshot loop can finish before the committer
+     domain is scheduled at all: give it until it has provably run *)
+  while (Db.digest db).Spitz_ledger.Journal.size < 2 do
+    Domain.cpu_relax ()
+  done;
   Atomic.set stop true;
   let commits = Domain.join committer in
   Alcotest.(check int) "no torn snapshot observed" 0 !bad;
