@@ -1421,7 +1421,8 @@ let deadline = ref 60.
 let fuzz_seed = ref 0
 
 (* Deadline-bounded run of the lib/check adversarial fuzzer: mutated proofs,
-   receipts, and WAL files against every verifier. Each round's seed is
+   receipts, and WAL files against every verifier, plus mutated protocol
+   frames replayed against a live loopback server. Each round's seed is
    printed, so any failure replays deterministically with
    [Spitz_check.Fuzz.fuzz_all ~seed:<printed> ()] — or by re-running this
    command with [--fuzz-seed]. Exits nonzero on any accepted mutant or
@@ -1432,7 +1433,7 @@ let fuzz_cmd () =
     if !fuzz_seed <> 0 then !fuzz_seed
     else int_of_float (Unix.gettimeofday () *. 1000.) land 0x3FFFFFFF
   in
-  pr "== Adversarial proof/WAL fuzz: deadline %.0fs, master seed %d ==\n" !deadline seed;
+  pr "== Adversarial proof/WAL/frame fuzz: deadline %.0fs, master seed %d ==\n" !deadline seed;
   pr "   (replay one round: Spitz_check.Fuzz.fuzz_all ~seed:<round seed> ())\n";
   flush stdout;
   let report =
@@ -1653,12 +1654,172 @@ let read_scale () =
   pr " everywhere — digests, values and proof decisions are checked against\n";
   pr " serial replay / the settled ledger)\n"
 
+(* ---------- server: TCP round-trip sweep over the loopback front-end ---------- *)
+
+(* Client connections hammer the TCP server with a read-mostly mix (7 Gets :
+   1 single-put Commit) at 1/2/4/8 connections, with and without pipelining.
+   Unpipelined clients pay one full round trip per request; pipelined
+   clients keep a window of requests in flight, so per-request latency
+   includes queueing but throughput amortizes the round trips. Clients are
+   systhreads speaking the raw Frame+Ipc protocol (the verifying Session
+   deliberately does not pipeline). Every leg is gated on correctness, not
+   just speed: the journal's committed order must replay serially into a
+   bit-identical digest, and after the sweep a verifying session must sync
+   to the head and proof-check reads — any failure flips the exit code. *)
+let server_bench () =
+  let module Server = Spitz_server.Server in
+  let module Session = Spitz_server.Session in
+  let module Frame = Spitz_server.Frame in
+  let module Ipc = Spitz_nonintrusive.Ipc in
+  let n = max 1_000 (20_000 / !scale) in
+  let per = max 200 (!ops / 4) in
+  let hot = min n 2_048 in
+  pr "\n== Server: TCP round-trips over loopback (%d records, %d requests/conn, 7:1 read:write) ==\n"
+    n per;
+  pr "%-8s%10s%11s%9s%9s%9s%8s%10s\n" "conns" "pipeline" "reqs k/s" "p50ms"
+    "p95ms" "p99ms" "equal" "verified";
+  let db = Spitz.Db.open_db () in
+  let rec seed i =
+    if i < n then begin
+      let chunk = min 1_000 (n - i) in
+      ignore
+        (Spitz.Db.put_batch db
+           (List.init chunk (fun j ->
+                let k = Keygen.key_of (i + j) in
+                (k, Keygen.value_of k))));
+      seed (i + chunk)
+    end
+  in
+  seed 0;
+  let server = Server.start db in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let port = Server.port server in
+  let connect () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    fd
+  in
+  (* serial equivalence: replay the journal's committed order (seed chunks
+     and every Commit the storm landed) into a fresh in-memory db *)
+  let replay_equal () =
+    let ledger = Spitz.Auditor.ledger (Spitz.Db.auditor db) in
+    let journal = Spitz.Db.L.journal ledger in
+    let serial = Spitz.Db.open_db () in
+    for h = 0 to Spitz.Db.L.height ledger - 1 do
+      let block = Spitz_ledger.Journal.block journal h in
+      let writes =
+        List.map
+          (fun e ->
+             let k = e.Spitz_ledger.Block.key in
+             Spitz_ledger.Ledger.Put (k, Keygen.value_of k))
+          block.Spitz_ledger.Block.entries
+      in
+      ignore (Spitz.Db.commit serial writes)
+    done;
+    Spitz.Db.digest db = Spitz.Db.digest serial
+  in
+  let leg conns depth =
+    Gc.full_major ();
+    let lats = Array.init conns (fun _ -> Array.make per 0.) in
+    let client c () =
+      let fd = connect () in
+      Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+      let lat = lats.(c) in
+      let pending = Queue.create () in
+      let recv_one () =
+        let payload = Frame.read fd in
+        (match Ipc.decode_response payload with
+         | Ipc.Error e -> failwith ("server error: " ^ e)
+         | _ -> ());
+        let j, t0 = Queue.pop pending in
+        lat.(j) <- Runner.now () -. t0
+      in
+      for j = 0 to per - 1 do
+        while Queue.length pending >= depth do recv_one () done;
+        let req =
+          if j mod 8 = 0 then begin
+            (* writes land on this connection's own slice of the keyspace *)
+            let k = Keygen.key_of (((c * per) + j) mod n) in
+            Ipc.Commit [ (k, Keygen.value_of k) ]
+          end
+          else Ipc.Get (Keygen.key_of (((c * 31) + (j * 7)) mod hot))
+        in
+        Queue.push (j, Runner.now ()) pending;
+        Frame.write fd (Ipc.encode_request req)
+      done;
+      while not (Queue.is_empty pending) do recv_one () done
+    in
+    let (), wall =
+      Runner.time (fun () ->
+          let ts = List.init conns (fun c -> Thread.create (client c) ()) in
+          List.iter Thread.join ts)
+    in
+    let thr = float_of_int (conns * per) /. wall in
+    let equal = replay_equal () in
+    (* a verifying session must still sync to the head and proof-check *)
+    let verified =
+      let s = Session.connect ~port () in
+      Fun.protect ~finally:(fun () -> Session.close s) @@ fun () ->
+      Session.sync s;
+      let k = Keygen.key_of 0 in
+      ignore (Session.get_verified s k);
+      ignore (Session.get_batch_verified s [ k; Keygen.key_of (hot - 1) ]);
+      Session.digest s = Some (Spitz.Db.digest db) && Session.failures s = 0
+    in
+    if not (equal && verified) then exit_code := 1;
+    let all = Array.concat (Array.to_list lats) in
+    Array.sort compare all;
+    let p q = percentile all q *. 1e3 in
+    let p50 = p 0.50 and p95 = p 0.95 and p99 = p 0.99 in
+    pr "%-8d%10s%11.1f%9.3f%9.3f%9.3f%8s%10s\n" conns
+      (if depth = 1 then "off" else Printf.sprintf "%d" depth)
+      (Runner.kops thr) p50 p95 p99
+      (if equal then "yes" else "NO")
+      (if verified then "yes" else "NO");
+    J.Obj
+      [
+        ("connections", J.Num (float_of_int conns));
+        ("pipeline_depth", J.Num (float_of_int depth));
+        ("reqs_kops", J.Num (Runner.kops thr));
+        ("p50_ms", J.Num p50);
+        ("p95_ms", J.Num p95);
+        ("p99_ms", J.Num p99);
+        ("digest_equals_serial_replay", J.Bool equal);
+        ("verified_session_ok", J.Bool verified);
+      ]
+  in
+  let rows =
+    List.concat_map
+      (fun depth -> List.map (fun conns -> leg conns depth) [ 1; 2; 4; 8 ])
+      [ 1; 32 ]
+  in
+  let st = Server.stats server in
+  add_result "server"
+    (J.Obj
+       [
+         ("records", J.Num (float_of_int n));
+         ("requests_per_connection", J.Num (float_of_int per));
+         ("hot_set", J.Num (float_of_int hot));
+         ("legs", J.Arr rows);
+         ("served_requests", J.Num (float_of_int st.Server.requests));
+         ("served_bytes_in", J.Num (float_of_int st.Server.bytes_in));
+         ("served_bytes_out", J.Num (float_of_int st.Server.bytes_out));
+         ("malformed", J.Num (float_of_int st.Server.malformed));
+       ]);
+  pr "(expected shape: unpipelined throughput is round-trip-bound and grows\n";
+  pr " with connections; pipelining lifts a single connection several-fold\n";
+  pr " by amortizing round trips, at higher per-request queueing latency;\n";
+  pr " 'equal' and 'verified' must be yes everywhere — the TCP front-end\n";
+  pr " must not change digests, and a verifying client must still be able\n";
+  pr " to proof-check everything it reads)\n"
+
 (* ---------- driver ---------- *)
 
 let usage () =
   pr
     "usage: main.exe \
-     [fig1|fig6a|fig6b|fig7|fig8a|fig8b|siri|verify|verify-mode|cc|learned|pipeline|durability|group-commit|checkpoint|read-scale|bechamel|fuzz|all]\n\
+     [fig1|fig6a|fig6b|fig7|fig8a|fig8b|siri|verify|verify-mode|cc|learned|pipeline|durability|group-commit|checkpoint|read-scale|server|bechamel|fuzz|all]\n\
     \       [--scale N] [--ops N] [--domains N] [--out FILE]\n\
     \       [--deadline SECONDS] [--fuzz-seed N]   (fuzz; seed 0 = time-derived)\n";
   exit 1
@@ -1731,6 +1892,7 @@ let () =
     | "group-commit" -> group_commit ()
     | "checkpoint" -> checkpoint_bench ()
     | "read-scale" -> read_scale ()
+    | "server" -> server_bench ()
     | "bechamel" -> bechamel ()
     | "fuzz" -> fuzz_cmd ()
     | "all" ->
@@ -1749,6 +1911,7 @@ let () =
       group_commit ();
       checkpoint_bench ();
       read_scale ();
+      server_bench ();
       bechamel ()
     | cmd ->
       pr "unknown command %S\n" cmd;

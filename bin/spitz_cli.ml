@@ -208,6 +208,104 @@ let compact_cmd =
        ~doc:"Sweep ledger index versions older than the retention horizon.")
     Term.(const run $ file_arg $ keep)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Durable database directory (created if missing).")
+  in
+  let port =
+    Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let domains =
+    Arg.(value & opt int 2 & info [ "domains" ] ~docv:"N" ~doc:"Accept domains.")
+  in
+  let sync =
+    Arg.(value & opt string "always" & info [ "sync" ] ~docv:"POLICY"
+           ~doc:"WAL sync policy: always, group, interval:N, or never.")
+  in
+  let run dir port domains sync =
+    let sync_policy =
+      match String.lowercase_ascii sync with
+      | "always" -> Spitz_storage.Wal.Always
+      | "group" -> Spitz_storage.Wal.Group { max_batch = 64; max_delay_us = 200 }
+      | "never" -> Spitz_storage.Wal.Never
+      | s when String.length s > 9 && String.sub s 0 9 = "interval:" ->
+        (match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
+         | Some n when n > 0 -> Spitz_storage.Wal.Interval n
+         | _ -> Printf.eprintf "error: bad sync policy %S\n" s; exit 1)
+      | s -> Printf.eprintf "error: bad sync policy %S\n" s; exit 1
+    in
+    let durable = Spitz.Db.open_durable ~sync:sync_policy dir in
+    let config = { Spitz_server.Server.default_config with port; accept_domains = domains } in
+    let server = Spitz_server.Server.start ~config (Spitz.Db.durable_db durable) in
+    (* The harness (tests, CI smoke) learns the bound port from this line. *)
+    Printf.printf "PORT=%d\n%!" (Spitz_server.Server.port server);
+    let quit = Atomic.make false in
+    let handler = Sys.Signal_handle (fun _ -> Atomic.set quit true) in
+    Sys.set_signal Sys.sigterm handler;
+    Sys.set_signal Sys.sigint handler;
+    while not (Atomic.get quit) do
+      Thread.delay 0.05
+    done;
+    Spitz_server.Server.stop server;
+    let s = Spitz_server.Server.stats server in
+    Spitz.Db.close_durable durable;
+    Printf.printf "served %d requests over %d connections (%d malformed rejected)\n"
+      s.Spitz_server.Server.requests s.Spitz_server.Server.accepted
+      s.Spitz_server.Server.malformed
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a durable database over TCP (loopback) until SIGTERM/SIGINT.")
+    Term.(const run $ dir $ port $ domains $ sync)
+
+(* --- client --- *)
+
+let client_cmd =
+  let port =
+    Arg.(required & opt (some int) None & info [ "port" ] ~docv:"PORT"
+           ~doc:"Server port on loopback.")
+  in
+  let op_args =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"OP"
+           ~doc:"Operation: put K V | get K | get-verified K | range LO HI | digest.")
+  in
+  let run port op_args =
+    let session = Spitz_server.Session.connect ~port () in
+    Fun.protect ~finally:(fun () -> Spitz_server.Session.close session) @@ fun () ->
+    match op_args with
+    | [ "put"; k; v ] ->
+      Printf.printf "committed block %d\n" (Spitz_server.Session.put session k v)
+    | [ "get"; k ] -> (
+      match Spitz_server.Session.get session k with
+      | Some v -> print_endline v
+      | None -> Printf.eprintf "(not found)\n"; exit 1)
+    | [ "get-verified"; k ] -> (
+      match Spitz_server.Session.get_verified session k with
+      | Some v -> Printf.printf "%s\nproof: VERIFIED\n" v
+      | None -> Printf.printf "(not found)\nproof: VERIFIED\n")
+    | [ "range"; lo; hi ] ->
+      List.iter (fun (k, v) -> Printf.printf "%s\t%s\n" k v)
+        (Spitz_server.Session.range_verified session ~lo ~hi)
+    | [ "digest" ] ->
+      Spitz_server.Session.sync session;
+      let d = Option.get (Spitz_server.Session.digest session) in
+      Printf.printf "root  %s\nsize  %d blocks\n"
+        (Spitz_crypto.Hash.to_hex d.Spitz_ledger.Journal.root)
+        d.Spitz_ledger.Journal.size
+    | op ->
+      Printf.eprintf "error: unknown client operation %S\n" (String.concat " " op);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Run one verified operation against a running server (session pins and \
+             checks the digest).")
+    Term.(const run $ port $ op_args)
+
 (* --- stats --- *)
 
 let stats_cmd =
@@ -237,4 +335,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ init_cmd; put_cmd; get_cmd; range_cmd; history_cmd; sql_cmd; digest_cmd;
-            audit_cmd; compact_cmd; stats_cmd ]))
+            audit_cmd; compact_cmd; stats_cmd; serve_cmd; client_cmd ]))

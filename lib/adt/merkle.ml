@@ -111,10 +111,20 @@ let range_hash t lo hi =
   if lo < 0 || hi > n || lo >= hi then invalid_arg "Merkle.range_hash";
   go lo hi
 
+(* The tree is append-only, so the first [m] leaves of the current tree are
+   exactly the tree as it stood at size [m] — its root and audit paths are
+   pure range-hash computations over today's levels. This is what lets a
+   historical snapshot anchor proofs at the digest {e of its own height}
+   rather than whatever the head happened to be at pin time. *)
+let root_at t ~size:m =
+  if m < 0 || m > size t then invalid_arg "Merkle.root_at";
+  if m = 0 then empty_root else range_hash t 0 m
+
 type inclusion_proof = Hash.t list (* sibling hashes, leaf level first *)
 
-let prove_inclusion t index =
-  if index < 0 || index >= size t then invalid_arg "Merkle.prove_inclusion";
+let prove_inclusion_at t index ~size:m =
+  if m < 1 || m > size t then invalid_arg "Merkle.prove_inclusion_at";
+  if index < 0 || index >= m then invalid_arg "Merkle.prove_inclusion_at: index";
   let rec go i lo hi =
     if hi - lo = 1 then []
     else begin
@@ -123,7 +133,11 @@ let prove_inclusion t index =
       else go i (lo + k) hi @ [ range_hash t lo (lo + k) ]
     end
   in
-  go index 0 (size t)
+  go index 0 m
+
+let prove_inclusion t index =
+  if index < 0 || index >= size t then invalid_arg "Merkle.prove_inclusion";
+  prove_inclusion_at t index ~size:(size t)
 
 let verify_inclusion ~root:expected ~size ~index ~leaf proof =
   if index < 0 || index >= size then false

@@ -39,10 +39,21 @@ val range_hash : t -> int -> int -> Hash.t
 (** [range_hash t lo hi] is the Merkle hash of the subtree covering leaves
     [lo..hi-1]. [range_hash t 0 (size t) = root t]. *)
 
+val root_at : t -> size:int -> Hash.t
+(** The root the tree had when it held its first [size] leaves — the tree is
+    append-only, so the prefix {e is} that historical tree. [root_at t
+    ~size:(size t) = root t]; [root_at t ~size:0 = empty_root]. Raises
+    [Invalid_argument] when [size] is out of range. *)
+
 type inclusion_proof = Hash.t list
 (** Sibling hashes along the audit path, leaf level first. *)
 
 val prove_inclusion : t -> int -> inclusion_proof
+
+val prove_inclusion_at : t -> int -> size:int -> inclusion_proof
+(** Inclusion proof for a leaf {e within the prefix tree} of the first
+    [size] leaves — verifies against [root_at t ~size]. Used to anchor a
+    historical snapshot's proofs at the digest of its own height. *)
 
 val verify_inclusion :
   root:Hash.t -> size:int -> index:int -> leaf:Hash.t -> inclusion_proof -> bool

@@ -683,6 +683,131 @@ let check_checkpoint_storm (tr : Trace.trace) =
     if not (Db.audit db') then fail "checkpoint storm: recovered chain audit failed"
   end
 
+(* N verifying client sessions over a real loopback socket, racing mixed
+   idempotent writes and proof-checked reads against each other. The server
+   commits through the same group-commit path the in-process storms
+   exercise, but everything crosses the wire codec, the frame layer, and the
+   session's digest-pinning verification. Afterwards the committed order —
+   recovered from the Apply tokens in the block statements — replayed
+   serially must reproduce the settled digest bit for bit, and every
+   client-verified (height, key, value) observation must match [Db.get_at]. *)
+let check_concurrent_clients (tr : Trace.trace) =
+  let module Server = Spitz_server.Server in
+  let module Session = Spitz_server.Session in
+  let batches =
+    List.filter_map (function Trace.Commit ws -> Some ws | Trace.Reopen -> None) tr.steps
+  in
+  if batches <> [] then begin
+    let db = Db.open_db () in
+    let server = Server.start db in
+    Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+    let port = Server.port server in
+    let nclients = min 3 (List.length batches) in
+    let slices =
+      List.init nclients (fun c ->
+          List.filteri (fun i _ -> i mod nclients = c) batches)
+    in
+    let batch_of (c, j) = List.nth (List.nth slices c) j in
+    (* an Apply batch commits puts before deletes; replay must mirror that *)
+    let split ws =
+      List.partition_map
+        (function
+          | Trace.W (k, v) -> Either.Left (Trace.key k, Trace.value k v)
+          | Trace.D k -> Either.Right (Trace.key k))
+        ws
+    in
+    let apply_writes ws =
+      let puts, deletes = split ws in
+      List.map (fun (k, v) -> Ledger.Put (k, v)) puts
+      @ List.map (fun k -> Ledger.Delete k) deletes
+    in
+    let probe =
+      match Model.keys_touched (List.fold_left Model.commit Model.empty batches) with
+      | [] -> [| 0 |]
+      | ks -> Array.of_list ks
+    in
+    let client c slice =
+      let s = Session.connect ~port () in
+      Fun.protect ~finally:(fun () -> Session.close s) @@ fun () ->
+      let obs = ref [] in
+      List.iteri
+        (fun j ws ->
+          let puts, deletes = split ws in
+          ignore (Session.apply s ~token:(sentinel c j) ~puts ~deletes);
+          Session.sync s;
+          (match Session.pin_height s with
+           | Some h when h >= 0 ->
+             (* point read and batch read, both proof-checked at the pin *)
+             let key = Trace.key probe.((c + j) mod Array.length probe) in
+             obs := (h, key, Session.get_verified s key) :: !obs;
+             let key2 = Trace.key probe.((c + j + 1) mod Array.length probe) in
+             (match Session.get_batch_verified s [ key; key2 ] with
+              | [ v1; v2 ] -> obs := (h, key, v1) :: (h, key2, v2) :: !obs
+              | vs -> fail "client %d: batch read returned %d values" c (List.length vs))
+           | _ -> fail "client %d has no pin after a committed apply" c))
+        slice;
+      if Session.failures s > 0 then
+        fail "client %d recorded %d verifier failures" c (Session.failures s);
+      !obs
+    in
+    let domains =
+      List.mapi (fun c slice -> Domain.spawn (fun () -> client c slice)) slices
+    in
+    let observations = List.concat_map Domain.join domains in
+    let digest = Db.digest db in
+    let ledger = Spitz.Auditor.ledger (Db.auditor db) in
+    let height = Db.L.height ledger in
+    if height <> List.length batches then
+      fail "client storm: %d blocks for %d batches" height (List.length batches);
+    (* recover the committed order from the Apply tokens ("tx:cc:c:j") *)
+    let order =
+      List.init height (fun h ->
+          match
+            (Spitz_ledger.Journal.block (Db.L.journal ledger) h).Spitz_ledger.Block.statements
+          with
+          | [ s ] when String.length s > 3 && String.sub s 0 3 = "tx:" ->
+            parse_sentinel (String.sub s 3 (String.length s - 3))
+          | ss ->
+            fail "block %d carries statements %s, expected one Apply token" h
+              (String.concat "," ss))
+    in
+    (* a valid merge of the per-client sequences *)
+    let next = Array.make nclients 0 in
+    List.iter
+      (fun (c, j) ->
+        if c < 0 || c >= nclients then fail "unknown client %d" c;
+        if j <> next.(c) then
+          fail "client %d: batch %d committed before batch %d" c j next.(c);
+        next.(c) <- j + 1)
+      order;
+    (* the committed order, replayed serially, reproduces the digest *)
+    let serial = Db.open_db () in
+    List.iter
+      (fun (c, j) ->
+        ignore
+          (Db.commit serial
+             ~statements:[ "tx:" ^ sentinel c j ]
+             (apply_writes (batch_of (c, j)))))
+      order;
+    if Db.digest serial <> digest then
+      fail "client storm digest differs from the serial replay of its own order";
+    (* every client-verified observation matches the committed prefix state *)
+    List.iter
+      (fun (h, key, v) ->
+        let expect = Db.get_at db ~height:h key in
+        if v <> expect then
+          fail "client-verified read saw %s for %S at height %d; get_at says %s"
+            (opt_str v) key h (opt_str expect))
+      observations;
+    (* a late-arriving client syncs straight to the settled digest *)
+    let s = Session.connect ~port () in
+    Fun.protect ~finally:(fun () -> Session.close s) @@ fun () ->
+    Session.sync s;
+    if Session.digest s <> Some digest then
+      fail "late client pinned a digest different from the settled head";
+    if not (Db.audit db) then fail "client storm: chain audit failed"
+  end
+
 let check_digest_stability (tr : Trace.trace) =
   with_temp_file @@ fun tmp ->
   let first = replay_digest tr in

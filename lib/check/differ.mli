@@ -68,6 +68,19 @@ val check_checkpoint_storm : Trace.trace -> unit
     passes, and a reopen from whatever snapshot/segment mix the storm left
     on disk recovers the identical digest and passes the audit. *)
 
+val check_concurrent_clients : Trace.trace -> unit
+(** End-to-end serializability through the TCP layer: up to three verifying
+    {!Spitz_server.Session}s over loopback race the trace's batches as
+    idempotent [Apply] commits (tokenized with the committer sentinel) mixed
+    with proof-checked point and batch reads pinned at each session's
+    verified digest. Asserts the committed order recovered from the Apply
+    tokens is a valid merge of the per-client sequences; that replaying that
+    order serially reproduces the settled digest bit-identically; that every
+    client-verified (height, key, value) observation matches
+    [Spitz.Db.get_at]; that no session records a verifier failure; that a
+    late-arriving session pins exactly the settled digest; and that the
+    chain audit passes. *)
+
 val check_digest_stability : Trace.trace -> unit
 (** The digest is a pure function of the committed history: replaying the
     same trace twice — and through a save/load round-trip — yields identical

@@ -313,6 +313,35 @@ let decoder_targets ~seed =
       (Spitz_nonintrusive.Ipc.encode_request
          (Spitz_nonintrusive.Ipc.Delete (K.key_of (K.int rng 24))))
       Spitz_nonintrusive.Ipc.decode_request;
+    decode_only "ipc/request_apply"
+      (Spitz_nonintrusive.Ipc.encode_request
+         (Spitz_nonintrusive.Ipc.Apply
+            {
+              token = "fuzz-token";
+              puts = List.init 3 (fun i -> (K.key_of i, K.value_of (K.key_of i)));
+              deletes = [ K.key_of 9 ];
+            }))
+      Spitz_nonintrusive.Ipc.decode_request;
+    decode_only "ipc/response_batch"
+      (Spitz_nonintrusive.Ipc.encode_response
+         (Spitz_nonintrusive.Ipc.BatchProof
+            ([ Some (K.value_of (K.key_of 0)); None ], "opaque-proof-bytes")))
+      Spitz_nonintrusive.Ipc.decode_response;
+    decode_only "ipc/response_anchor"
+      (Spitz_nonintrusive.Ipc.encode_response
+         (Spitz_nonintrusive.Ipc.AnchorResp
+            {
+              Spitz_nonintrusive.Ipc.root = Spitz_crypto.Hash.of_string "anchor";
+              size = 7;
+              consistency =
+                [ Spitz_crypto.Hash.of_string "a"; Spitz_crypto.Hash.of_string "b" ];
+            }))
+      Spitz_nonintrusive.Ipc.decode_response;
+    decode_only "ipc/response_entries"
+      (Spitz_nonintrusive.Ipc.encode_response
+         (Spitz_nonintrusive.Ipc.EntriesProof
+            ([ (K.key_of 0, K.value_of (K.key_of 0)) ], Some "opaque-proof")))
+      Spitz_nonintrusive.Ipc.decode_response;
   ]
 
 let proof_targets ~seed =
@@ -459,8 +488,127 @@ let fuzz_wal ?(cases = 200) ~seed () =
   done;
   !r
 
-let fuzz_all ?mutants_per_target ?wal_cases ~seed () =
-  merge (fuzz_proofs ?mutants_per_target ~seed ()) (fuzz_wal ?cases:wal_cases ~seed ())
+(* --- live-server frame fuzzing ---
+
+   The offline targets above exercise the codecs; this one exercises the
+   whole network stack: structurally mutated frames (header + payload of
+   honest requests) are sent to a real loopback server, one fresh connection
+   per case. The contract: the server answers an [Error], drops the
+   connection, or — when the mutation happened to preserve CRC-valid framing
+   and a decodable payload — serves it like any valid request. It must never
+   hang, never send a malformed response, and never die. Each case half-
+   closes the send side after the mutant, so a short/torn mutant surfaces as
+   EOF on the server instead of a stuck read. *)
+
+let write_all fd data =
+  let len = String.length data in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write_substring fd data !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let frame_case port mutant =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  (* the server may already have dropped us mid-write: that is a rejection,
+     not an error *)
+  (try write_all fd mutant with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+  (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  match Spitz_server.Frame.read fd with
+  | payload -> (
+    match Spitz_nonintrusive.Ipc.decode_response payload with
+    | Spitz_nonintrusive.Ipc.Error _ -> Rejected_decode
+    | _ ->
+      (* CRC-valid framing and a decodable payload: by protocol definition a
+         valid request, served normally *)
+      Benign
+    | exception Wire.Malformed m -> Foreign ("server sent malformed response: " ^ m)
+    | exception e -> Foreign ("response decode raised " ^ Printexc.to_string e))
+  | exception (Spitz_server.Frame.Closed | End_of_file) -> Rejected_decode
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Rejected_decode
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    Foreign "server hung on a mutant frame"
+  | exception Wire.Malformed m -> Foreign ("server sent unframeable bytes: " ^ m)
+  | exception e -> Foreign ("frame read raised " ^ Printexc.to_string e)
+
+let fuzz_frames ?(cases = 400) ~seed () =
+  let rng = K.rng (seed lxor 0xF4A3E) in
+  let db = Spitz.Db.open_db () in
+  for i = 0 to 7 do
+    ignore (Spitz.Db.put db (K.key_of i) (K.value_of (K.key_of i)))
+  done;
+  let config =
+    { Spitz_server.Server.default_config with accept_domains = 1; max_connections = 16 }
+  in
+  let server = Spitz_server.Server.start ~config db in
+  Fun.protect ~finally:(fun () -> Spitz_server.Server.stop server) @@ fun () ->
+  let port = Spitz_server.Server.port server in
+  let honest rng =
+    let module I = Spitz_nonintrusive.Ipc in
+    let k () = K.key_of (K.int rng 8) in
+    match K.int rng 10 with
+    | 0 -> I.Put (k (), K.value_of (k ()))
+    | 1 -> I.Get (k ())
+    | 2 -> I.Range (K.key_of 0, K.key_of 7)
+    | 3 -> I.Prove (k ())
+    | 4 -> I.GetBatch (7, [ k (); k (); k () ])
+    | 5 -> I.SnapGet (7, k ())
+    | 6 -> I.SnapRange (7, K.key_of 0, K.key_of 7)
+    | 7 -> I.Anchor (K.int rng 8)
+    | 8 ->
+      I.Apply
+        { token = Printf.sprintf "fz-%d" (K.int rng 4); puts = [ (k (), "v") ]; deletes = [] }
+    | _ -> I.Receipts (K.int rng 8)
+  in
+  let r = ref empty_report in
+  let record tname outcome =
+    let acc = !r in
+    r :=
+      (match outcome with
+       | Rejected_decode -> { acc with total = acc.total + 1; rejected_decode = acc.rejected_decode + 1 }
+       | Rejected_verify -> { acc with total = acc.total + 1; rejected_verify = acc.rejected_verify + 1 }
+       | Benign -> { acc with total = acc.total + 1; benign = acc.benign + 1 }
+       | Accepted d -> { acc with total = acc.total + 1; accepted = (tname, d) :: acc.accepted }
+       | Foreign d -> { acc with total = acc.total + 1; foreign = (tname, d) :: acc.foreign })
+  in
+  for i = 1 to cases do
+    let frame =
+      Spitz_server.Frame.encode
+        (Spitz_nonintrusive.Ipc.encode_request (honest rng))
+    in
+    let mutant = Mutate.random rng frame in
+    let outcome =
+      try frame_case port mutant
+      with e -> Foreign ("case raised " ^ Printexc.to_string e)
+    in
+    record "frame/live" outcome;
+    (* periodic health probe: the server must still serve honest traffic
+       correctly after absorbing a batch of garbage *)
+    if i mod 100 = 0 || i = cases then begin
+      let outcome =
+        try
+          let s = Spitz_server.Session.connect ~port () in
+          Fun.protect ~finally:(fun () -> Spitz_server.Session.close s) @@ fun () ->
+          let probe = Printf.sprintf "health-%d" i in
+          ignore (Spitz_server.Session.put s probe probe);
+          if Spitz_server.Session.get_verified s probe = Some probe then Benign
+          else Foreign "health probe: verified read came back wrong"
+        with e -> Foreign ("health probe raised " ^ Printexc.to_string e)
+      in
+      record "frame/health" outcome
+    end
+  done;
+  !r
+
+let fuzz_all ?mutants_per_target ?wal_cases ?frame_cases ~seed () =
+  merge
+    (merge (fuzz_proofs ?mutants_per_target ~seed ()) (fuzz_wal ?cases:wal_cases ~seed ()))
+    (fuzz_frames ?cases:frame_cases ~seed ())
 
 let run_deadline ~deadline ~seed progress =
   let stop = Unix.gettimeofday () +. deadline in

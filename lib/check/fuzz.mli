@@ -70,7 +70,19 @@ val fuzz_wal : ?cases:int -> seed:int -> unit -> report
     meta), and reopen — asserting recover-or-[Corrupt], with a full chain
     audit on recovery. Also raw {!Spitz_storage.Wal.replay} framing fuzz. *)
 
-val fuzz_all : ?mutants_per_target:int -> ?wal_cases:int -> seed:int -> unit -> report
+val fuzz_frames : ?cases:int -> seed:int -> unit -> report
+(** Live-server frame fuzzing: start a loopback {!Spitz_server.Server}, then
+    [cases] (default 400) times mutate an honest request {e frame} (header +
+    payload) and send it on a fresh connection, half-closing the send side so
+    torn mutants cannot park the server in a read. Every case must end in an
+    [Error] reply or a dropped connection (rejected), or — for a mutant that
+    kept CRC-valid framing and a decodable payload — a normally served
+    response (benign). A hung server, a malformed response, or a failed
+    periodic health probe is a foreign outcome. *)
+
+val fuzz_all :
+  ?mutants_per_target:int -> ?wal_cases:int -> ?frame_cases:int -> seed:int -> unit ->
+  report
 
 val run_deadline :
   deadline:float -> seed:int -> (round:int -> seed:int -> report -> unit) -> report

@@ -37,6 +37,10 @@ let head_hash t =
 
 let digest t = { root = Spitz_adt.Merkle.root t.tree; size = t.length }
 
+let digest_at t ~size =
+  if size < 0 || size > t.length then invalid_arg "Journal.digest_at: out of range";
+  { root = Spitz_adt.Merkle.root_at t.tree ~size; size }
+
 let write_digest buf d =
   Wire.write_hash buf d.root;
   Wire.write_varint buf d.size
@@ -74,6 +78,10 @@ let body_hash t height =
   t.slots.(height).body
 
 let prove_inclusion t height = Spitz_adt.Merkle.prove_inclusion t.tree height
+
+let prove_inclusion_at t height ~size =
+  if size < 1 || size > t.length then invalid_arg "Journal.prove_inclusion_at: out of range";
+  Spitz_adt.Merkle.prove_inclusion_at t.tree height ~size
 
 let verify_inclusion ~digest ~height ~(header : Block.header) proof =
   Spitz_adt.Merkle.verify_inclusion

@@ -25,6 +25,11 @@ val head_hash : t -> Hash.t
 
 val digest : t -> digest
 
+val digest_at : t -> size:int -> digest
+(** The digest as of the first [size] blocks — the journal is append-only,
+    so this is exactly what {!digest} returned when the chain was that
+    long. Raises [Invalid_argument] when [size] is out of range. *)
+
 val append : t -> Block.t -> unit
 (** Persist the block and extend the chain. Raises [Invalid_argument] if the
     block does not link to the current head or has the wrong height. *)
@@ -37,6 +42,11 @@ val body_hash : t -> int -> Spitz_crypto.Hash.t
 (** Content address of the encoded block at a height (persistence). *)
 
 val prove_inclusion : t -> int -> Spitz_adt.Merkle.inclusion_proof
+
+val prove_inclusion_at : t -> int -> size:int -> Spitz_adt.Merkle.inclusion_proof
+(** Inclusion proof for a block within the chain prefix of [size] blocks —
+    verifies against [digest_at t ~size]. Anchors a historical snapshot's
+    proofs at the digest of its own height, not the pin-time head. *)
 
 val verify_inclusion :
   digest:digest -> height:int -> header:Block.header ->

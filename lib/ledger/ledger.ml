@@ -107,11 +107,15 @@ module Make (Index : Siri.S) = struct
   let snapshot_at t ~height =
     if height < 0 || height >= Journal.length t.journal then
       invalid_arg "Ledger.snapshot_at: out of range";
+    (* anchor at the digest as of the pinned block, not the current head:
+       a client that pinned {root; size = height + 1} must be able to verify
+       this snapshot's proofs no matter how far the chain has since grown *)
+    let size = height + 1 in
     {
       s_height = height;
       s_header = Journal.header t.journal height;
-      s_journal = Journal.prove_inclusion t.journal height;
-      s_digest = Journal.digest t.journal;
+      s_journal = Journal.prove_inclusion_at t.journal height ~size;
+      s_digest = Journal.digest_at t.journal ~size;
       s_index = t.instances.(height);
     }
 

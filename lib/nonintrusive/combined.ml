@@ -6,7 +6,10 @@ open Spitz_ledger
    database, glued at the client. Reads hit the underlying system, then the
    ledger for proofs; writes must commit to both atomically. Every crossing
    of a system boundary pays full request/response marshalling through
-   {!Ipc}. *)
+   {!Ipc} — the same codec the TCP server speaks, so malformed input on
+   either path is rejected by the one [Wire.decode] contract, and proofs
+   cross the boundary in the ledger's own wire encoding (no second proof
+   codec to drift out of sync). *)
 
 module L = Ledger.Default
 
@@ -25,166 +28,83 @@ let create () =
 
 let ipc_stats t = Ipc.stats t.ipc
 
-(* --- response codecs for the wire boundary --- *)
-
-let encode_value_opt buf v =
-  match v with
-  | None -> Wire.write_byte buf '\000'
-  | Some v ->
-    Wire.write_byte buf '\001';
-    Wire.write_string buf v
-
-let decode_value_opt r =
-  match Wire.read_byte r with
-  | '\000' -> None
-  | '\001' -> Some (Wire.read_string r)
-  | c -> raise (Wire.Malformed (Printf.sprintf "Combined: bad option tag %C" c))
-
-let encode_entries buf entries =
-  Wire.write_list buf (fun buf (k, v) -> Wire.write_string buf k; Wire.write_string buf v) entries
-
-let decode_entries r =
-  Wire.read_list r (fun r ->
-      let k = Wire.read_string r in
-      let v = Wire.read_string r in
-      (k, v))
-
-let encode_read_proof buf (p : L.read_proof) =
-  Wire.write_varint buf p.L.rp_height;
-  Wire.write_string buf (Block.header_bytes p.L.rp_header);
-  Wire.write_list buf Wire.write_hash p.L.rp_journal;
-  Wire.write_hash buf p.L.rp_digest.Journal.root;
-  Wire.write_varint buf p.L.rp_digest.Journal.size;
-  Wire.write_list buf Wire.write_string p.L.rp_index.Spitz_adt.Siri.nodes
-
-let decode_read_proof r : L.read_proof =
-  let rp_height = Wire.read_varint r in
-  let header_bytes = Wire.read_string r in
-  let rp_header =
-    let hr = Wire.reader header_bytes in
-    let height = Wire.read_varint hr in
-    let prev_hash = Wire.read_hash hr in
-    let entries_root = Wire.read_hash hr in
-    let index_root = Wire.read_hash hr in
-    let entry_count = Wire.read_varint hr in
-    let time = Wire.read_varint hr in
-    { Block.height; prev_hash; entries_root; index_root; entry_count; time }
-  in
-  let rp_journal = Wire.read_list r Wire.read_hash in
-  let root = Wire.read_hash r in
-  let size = Wire.read_varint r in
-  let rp_index = { Spitz_adt.Siri.nodes = Wire.read_list r Wire.read_string } in
-  { L.rp_height; rp_header; rp_journal; rp_digest = { Journal.root; size }; rp_index }
-
-let encode_proof_opt buf p =
-  match p with
-  | None -> Wire.write_byte buf '\000'
-  | Some p ->
-    Wire.write_byte buf '\001';
-    encode_read_proof buf p
-
-let decode_proof_opt r =
-  match Wire.read_byte r with
-  | '\000' -> None
-  | '\001' -> Some (decode_read_proof r)
-  | c -> raise (Wire.Malformed (Printf.sprintf "Combined: bad proof tag %C" c))
-
 (* --- the underlying-database service --- *)
 
-let serve_underlying t (req : Ipc.request) =
+let serve_underlying t (req : Ipc.request) : Ipc.response =
   match req with
   | Ipc.Put (k, v) ->
     ignore (Spitz_kvstore.Kv.put t.underlying k v);
-    `Unit
+    Ipc.Ack
   | Ipc.Delete k ->
     ignore (Spitz_kvstore.Kv.delete t.underlying k);
-    `Unit
-  | Ipc.Get k -> `Value (Spitz_kvstore.Kv.get t.underlying k)
-  | Ipc.Range (lo, hi) -> `Entries (Spitz_kvstore.Kv.range t.underlying ~lo ~hi)
-  | Ipc.Commit _ | Ipc.Retract _ | Ipc.Prove _ | Ipc.ProveRange _ ->
-    raise (Wire.Malformed "underlying database: unsupported request")
+    Ipc.Ack
+  | Ipc.Get k -> Ipc.Value (Spitz_kvstore.Kv.get t.underlying k)
+  | Ipc.Range (lo, hi) -> Ipc.Entries (Spitz_kvstore.Kv.range t.underlying ~lo ~hi)
+  | _ -> raise (Wire.Malformed "underlying database: unsupported request")
 
 (* --- the ledger-database service --- *)
 
-let serve_ledger t (req : Ipc.request) =
+let serve_ledger t (req : Ipc.request) : Ipc.response =
   match req with
   | Ipc.Commit kvs ->
     ignore (L.commit t.ledger (List.map (fun (k, v) -> Ledger.Put (k, v)) kvs));
-    `Unit
+    Ipc.Ack
   | Ipc.Retract k ->
     ignore (L.commit t.ledger [ Ledger.Delete k ]);
-    `Unit
+    Ipc.Ack
   | Ipc.Prove k ->
-    let _, proof = L.get_with_proof t.ledger k in
-    `Proof proof
+    let value, proof = L.get_with_proof t.ledger k in
+    Ipc.ValueProof (value, Option.map L.encode_read_proof proof)
   | Ipc.ProveRange (lo, hi) ->
     let entries, proof = L.range_with_proof t.ledger ~lo ~hi in
-    `EntriesProof (entries, proof)
-  | Ipc.Put _ | Ipc.Delete _ | Ipc.Get _ | Ipc.Range _ ->
-    raise (Wire.Malformed "ledger database: unsupported request")
+    Ipc.EntriesProof (entries, Option.map L.encode_read_proof proof)
+  | _ -> raise (Wire.Malformed "ledger database: unsupported request")
 
 (* --- client operations --- *)
 
-let unit_codec =
-  ((fun buf (_ : [ `Unit ]) -> Wire.write_byte buf 'u'), fun r -> ignore (Wire.read_byte r))
+let bad_response () = raise (Wire.Malformed "Combined: unexpected response shape")
 
 (* Writes commit to the underlying database and the ledger atomically (both
    or neither; in-process the two calls cannot be torn). *)
 let put t key value =
-  let enc, dec = unit_codec in
-  Ipc.call t.ipc (Ipc.Put (key, value))
-    ~serve:(fun req -> match serve_underlying t req with `Unit -> `Unit | _ -> assert false)
-    ~encode_response:enc ~decode_response:dec;
-  Ipc.call t.ipc (Ipc.Commit [ (key, value) ])
-    ~serve:(fun req -> match serve_ledger t req with `Unit -> `Unit | _ -> assert false)
-    ~encode_response:enc ~decode_response:dec
+  (match Ipc.call t.ipc (Ipc.Put (key, value)) ~serve:(serve_underlying t) with
+   | Ipc.Ack -> ()
+   | _ -> bad_response ());
+  match Ipc.call t.ipc (Ipc.Commit [ (key, value) ]) ~serve:(serve_ledger t) with
+  | Ipc.Ack -> ()
+  | _ -> bad_response ()
 
 (* Deletes cross both boundaries like writes do: remove from the underlying
    database, record the retraction in the ledger. *)
 let delete t key =
-  let enc, dec = unit_codec in
-  Ipc.call t.ipc (Ipc.Delete key)
-    ~serve:(fun req -> match serve_underlying t req with `Unit -> `Unit | _ -> assert false)
-    ~encode_response:enc ~decode_response:dec;
-  Ipc.call t.ipc (Ipc.Retract key)
-    ~serve:(fun req -> match serve_ledger t req with `Unit -> `Unit | _ -> assert false)
-    ~encode_response:enc ~decode_response:dec
+  (match Ipc.call t.ipc (Ipc.Delete key) ~serve:(serve_underlying t) with
+   | Ipc.Ack -> ()
+   | _ -> bad_response ());
+  match Ipc.call t.ipc (Ipc.Retract key) ~serve:(serve_ledger t) with
+  | Ipc.Ack -> ()
+  | _ -> bad_response ()
 
 let get t key =
-  Ipc.call t.ipc (Ipc.Get key)
-    ~serve:(fun req ->
-        match serve_underlying t req with `Value v -> v | _ -> assert false)
-    ~encode_response:encode_value_opt ~decode_response:decode_value_opt
+  match Ipc.call t.ipc (Ipc.Get key) ~serve:(serve_underlying t) with
+  | Ipc.Value v -> v
+  | _ -> bad_response ()
 
 let get_verified t key =
   let value = get t key in
-  let proof =
-    Ipc.call t.ipc (Ipc.Prove key)
-      ~serve:(fun req -> match serve_ledger t req with `Proof p -> p | _ -> assert false)
-      ~encode_response:(fun buf p -> encode_proof_opt buf p)
-      ~decode_response:decode_proof_opt
-  in
-  (value, proof)
+  match Ipc.call t.ipc (Ipc.Prove key) ~serve:(serve_ledger t) with
+  | Ipc.ValueProof (_, proof) -> (value, Option.map L.decode_read_proof proof)
+  | _ -> bad_response ()
 
 let range t ~lo ~hi =
-  Ipc.call t.ipc (Ipc.Range (lo, hi))
-    ~serve:(fun req ->
-        match serve_underlying t req with `Entries e -> e | _ -> assert false)
-    ~encode_response:encode_entries ~decode_response:decode_entries
+  match Ipc.call t.ipc (Ipc.Range (lo, hi)) ~serve:(serve_underlying t) with
+  | Ipc.Entries e -> e
+  | _ -> bad_response ()
 
 let range_verified t ~lo ~hi =
   let results = range t ~lo ~hi in
-  let _entries, proof =
-    Ipc.call t.ipc (Ipc.ProveRange (lo, hi))
-      ~serve:(fun req ->
-          match serve_ledger t req with `EntriesProof (e, p) -> (e, p) | _ -> assert false)
-      ~encode_response:(fun buf (e, p) -> encode_entries buf e; encode_proof_opt buf p)
-      ~decode_response:(fun r ->
-          let e = decode_entries r in
-          let p = decode_proof_opt r in
-          (e, p))
-  in
-  (results, proof)
+  match Ipc.call t.ipc (Ipc.ProveRange (lo, hi)) ~serve:(serve_ledger t) with
+  | Ipc.EntriesProof (_, proof) -> (results, Option.map L.decode_read_proof proof)
+  | _ -> bad_response ()
 
 let digest t = L.digest t.ledger
 

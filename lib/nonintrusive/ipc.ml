@@ -1,25 +1,37 @@
 open Spitz_storage
 
-(* Models the cross-system boundary of the non-intrusive design (paper
-   Figure 3): the underlying database and the ledger database are separate
-   systems, so every interaction pays full request/response marshalling —
-   encode the request, "transfer" it, decode it on the other side, and the
-   same again for the response. No artificial sleeps: the modelled cost is
-   the real serialization work such a boundary imposes, which is what the
-   paper attributes the non-intrusive design's overhead to (network
-   communication, query planning at both ends). *)
+(* The one request/response vocabulary every system boundary in the repo
+   speaks — the in-process non-intrusive boundary (paper Figure 3) and the
+   TCP server (lib/server) share these codecs, so there is exactly one
+   decoder for untrusted request bytes and exactly one for response bytes,
+   both funneled through the [Wire.decode] Malformed contract.
+
+   The in-process [call] models the marshalling cost of such a boundary with
+   no artificial sleeps: encode the request, "transfer" it, decode it on the
+   other side, and the same again for the response — the real serialization
+   work the paper attributes the non-intrusive design's overhead to. *)
 
 type stats = {
-  mutable calls : int;
-  mutable bytes_out : int;
-  mutable bytes_in : int;
+  calls : int;
+  bytes_out : int;
+  bytes_in : int;
 }
 
-type t = { stats : stats }
+type t = {
+  calls : int Atomic.t;
+  bytes_out : int Atomic.t;
+  bytes_in : int Atomic.t;
+}
 
-let create () = { stats = { calls = 0; bytes_out = 0; bytes_in = 0 } }
+let create () =
+  { calls = Atomic.make 0; bytes_out = Atomic.make 0; bytes_in = Atomic.make 0 }
 
-let stats t = t.stats
+let stats t : stats =
+  {
+    calls = Atomic.get t.calls;
+    bytes_out = Atomic.get t.bytes_out;
+    bytes_in = Atomic.get t.bytes_in;
+  }
 
 type request =
   | Put of string * string
@@ -30,62 +42,220 @@ type request =
   | Retract of string
   | Prove of string
   | ProveRange of string * string
+  | GetBatch of int * string list
+  | SnapGet of int * string
+  | SnapRange of int * string * string
+  | Anchor of int
+  | Apply of { token : string; puts : (string * string) list; deletes : string list }
+  | Receipts of int
+
+let write_request buf req =
+  match req with
+  | Put (k, v) -> Wire.write_byte buf 'P'; Wire.write_string buf k; Wire.write_string buf v
+  | Delete k -> Wire.write_byte buf 'D'; Wire.write_string buf k
+  | Get k -> Wire.write_byte buf 'G'; Wire.write_string buf k
+  | Range (lo, hi) -> Wire.write_byte buf 'R'; Wire.write_string buf lo; Wire.write_string buf hi
+  | Commit kvs ->
+    Wire.write_byte buf 'C';
+    Wire.write_list buf (fun buf (k, v) -> Wire.write_string buf k; Wire.write_string buf v) kvs
+  | Retract k -> Wire.write_byte buf 'r'; Wire.write_string buf k
+  | Prove k -> Wire.write_byte buf 'p'; Wire.write_string buf k
+  | ProveRange (lo, hi) ->
+    Wire.write_byte buf 'q'; Wire.write_string buf lo; Wire.write_string buf hi
+  | GetBatch (height, keys) ->
+    Wire.write_byte buf 'B';
+    Wire.write_varint buf height;
+    Wire.write_list buf Wire.write_string keys
+  | SnapGet (height, k) ->
+    Wire.write_byte buf 'S';
+    Wire.write_varint buf height;
+    Wire.write_string buf k
+  | SnapRange (height, lo, hi) ->
+    Wire.write_byte buf 'N';
+    Wire.write_varint buf height;
+    Wire.write_string buf lo;
+    Wire.write_string buf hi
+  | Anchor known -> Wire.write_byte buf 'A'; Wire.write_varint buf known
+  | Apply { token; puts; deletes } ->
+    Wire.write_byte buf 'T';
+    Wire.write_string buf token;
+    Wire.write_list buf (fun buf (k, v) -> Wire.write_string buf k; Wire.write_string buf v) puts;
+    Wire.write_list buf Wire.write_string deletes
+  | Receipts height -> Wire.write_byte buf 'W'; Wire.write_varint buf height
 
 let encode_request req =
   let buf = Wire.writer () in
-  (match req with
-   | Put (k, v) -> Wire.write_byte buf 'P'; Wire.write_string buf k; Wire.write_string buf v
-   | Delete k -> Wire.write_byte buf 'D'; Wire.write_string buf k
-   | Get k -> Wire.write_byte buf 'G'; Wire.write_string buf k
-   | Range (lo, hi) -> Wire.write_byte buf 'R'; Wire.write_string buf lo; Wire.write_string buf hi
-   | Commit kvs ->
-     Wire.write_byte buf 'C';
-     Wire.write_list buf (fun buf (k, v) -> Wire.write_string buf k; Wire.write_string buf v) kvs
-   | Retract k -> Wire.write_byte buf 'r'; Wire.write_string buf k
-   | Prove k -> Wire.write_byte buf 'p'; Wire.write_string buf k
-   | ProveRange (lo, hi) ->
-     Wire.write_byte buf 'q'; Wire.write_string buf lo; Wire.write_string buf hi);
+  write_request buf req;
   Wire.contents buf
 
-let decode_request data =
-  Wire.decode "Ipc.decode_request"
-    (fun r ->
-       match Wire.read_byte r with
-       | 'P' ->
-         let k = Wire.read_string r in
-         let v = Wire.read_string r in
-         Put (k, v)
-       | 'D' -> Delete (Wire.read_string r)
-       | 'G' -> Get (Wire.read_string r)
-       | 'R' ->
-         let lo = Wire.read_string r in
-         let hi = Wire.read_string r in
-         Range (lo, hi)
-       | 'C' ->
-         Commit
-           (Wire.read_list r (fun r ->
-                let k = Wire.read_string r in
-                let v = Wire.read_string r in
-                (k, v)))
-       | 'r' -> Retract (Wire.read_string r)
-       | 'p' -> Prove (Wire.read_string r)
-       | 'q' ->
-         let lo = Wire.read_string r in
-         let hi = Wire.read_string r in
-         ProveRange (lo, hi)
-       | c -> raise (Wire.Malformed (Printf.sprintf "Ipc: bad request tag %C" c)))
-    data
+let read_request r =
+  match Wire.read_byte r with
+  | 'P' ->
+    let k = Wire.read_string r in
+    let v = Wire.read_string r in
+    Put (k, v)
+  | 'D' -> Delete (Wire.read_string r)
+  | 'G' -> Get (Wire.read_string r)
+  | 'R' ->
+    let lo = Wire.read_string r in
+    let hi = Wire.read_string r in
+    Range (lo, hi)
+  | 'C' ->
+    Commit
+      (Wire.read_list r (fun r ->
+           let k = Wire.read_string r in
+           let v = Wire.read_string r in
+           (k, v)))
+  | 'r' -> Retract (Wire.read_string r)
+  | 'p' -> Prove (Wire.read_string r)
+  | 'q' ->
+    let lo = Wire.read_string r in
+    let hi = Wire.read_string r in
+    ProveRange (lo, hi)
+  | 'B' ->
+    let height = Wire.read_varint r in
+    let keys = Wire.read_list r Wire.read_string in
+    GetBatch (height, keys)
+  | 'S' ->
+    let height = Wire.read_varint r in
+    let k = Wire.read_string r in
+    SnapGet (height, k)
+  | 'N' ->
+    let height = Wire.read_varint r in
+    let lo = Wire.read_string r in
+    let hi = Wire.read_string r in
+    SnapRange (height, lo, hi)
+  | 'A' -> Anchor (Wire.read_varint r)
+  | 'T' ->
+    let token = Wire.read_string r in
+    let puts =
+      Wire.read_list r (fun r ->
+          let k = Wire.read_string r in
+          let v = Wire.read_string r in
+          (k, v))
+    in
+    let deletes = Wire.read_list r Wire.read_string in
+    Apply { token; puts; deletes }
+  | 'W' -> Receipts (Wire.read_varint r)
+  | c -> raise (Wire.Malformed (Printf.sprintf "Ipc: bad request tag %C" c))
 
-(* Round-trip a request to [serve] through full marshalling on both sides. *)
-let call t req ~serve ~encode_response ~decode_response =
-  t.stats.calls <- t.stats.calls + 1;
+let decode_request data = Wire.decode "Ipc.decode_request" read_request data
+
+(* --- responses ---
+
+   Proofs and receipts travel as opaque encoded strings (the ledger's own
+   wire codecs), so the envelope stays independent of the SIRI functor
+   instantiation; the receiver decodes them with the matching
+   [Ledger.Make(_).decode_*]. *)
+
+type anchor = {
+  root : Spitz_crypto.Hash.t;
+  size : int;
+  consistency : Spitz_crypto.Hash.t list;
+}
+
+type response =
+  | Ack
+  | Committed of int
+  | Value of string option
+  | Entries of (string * string) list
+  | ValueProof of string option * string option
+  | EntriesProof of (string * string) list * string option
+  | BatchProof of string option list * string
+  | AnchorResp of anchor
+  | ReceiptList of string list
+  | Error of string
+
+let write_value_opt buf v =
+  match v with
+  | None -> Wire.write_byte buf '\000'
+  | Some v ->
+    Wire.write_byte buf '\001';
+    Wire.write_string buf v
+
+let read_value_opt r =
+  match Wire.read_byte r with
+  | '\000' -> None
+  | '\001' -> Some (Wire.read_string r)
+  | c -> raise (Wire.Malformed (Printf.sprintf "Ipc: bad option tag %C" c))
+
+let write_entries buf entries =
+  Wire.write_list buf (fun buf (k, v) -> Wire.write_string buf k; Wire.write_string buf v) entries
+
+let read_entries r =
+  Wire.read_list r (fun r ->
+      let k = Wire.read_string r in
+      let v = Wire.read_string r in
+      (k, v))
+
+let write_response buf resp =
+  match resp with
+  | Ack -> Wire.write_byte buf 'u'
+  | Committed h -> Wire.write_byte buf 'h'; Wire.write_varint buf h
+  | Value v -> Wire.write_byte buf 'v'; write_value_opt buf v
+  | Entries es -> Wire.write_byte buf 'e'; write_entries buf es
+  | ValueProof (v, p) ->
+    Wire.write_byte buf 'V';
+    write_value_opt buf v;
+    write_value_opt buf p
+  | EntriesProof (es, p) ->
+    Wire.write_byte buf 'E';
+    write_entries buf es;
+    write_value_opt buf p
+  | BatchProof (vs, p) ->
+    Wire.write_byte buf 'b';
+    Wire.write_list buf write_value_opt vs;
+    Wire.write_string buf p
+  | AnchorResp { root; size; consistency } ->
+    Wire.write_byte buf 'a';
+    Wire.write_hash buf root;
+    Wire.write_varint buf size;
+    Wire.write_hash_list buf consistency
+  | ReceiptList rs -> Wire.write_byte buf 'w'; Wire.write_list buf Wire.write_string rs
+  | Error msg -> Wire.write_byte buf 'x'; Wire.write_string buf msg
+
+let encode_response resp =
+  let buf = Wire.writer () in
+  write_response buf resp;
+  Wire.contents buf
+
+let read_response r =
+  match Wire.read_byte r with
+  | 'u' -> Ack
+  | 'h' -> Committed (Wire.read_varint r)
+  | 'v' -> Value (read_value_opt r)
+  | 'e' -> Entries (read_entries r)
+  | 'V' ->
+    let v = read_value_opt r in
+    let p = read_value_opt r in
+    ValueProof (v, p)
+  | 'E' ->
+    let es = read_entries r in
+    let p = read_value_opt r in
+    EntriesProof (es, p)
+  | 'b' ->
+    let vs = Wire.read_list r read_value_opt in
+    let p = Wire.read_string r in
+    BatchProof (vs, p)
+  | 'a' ->
+    let root = Wire.read_hash r in
+    let size = Wire.read_varint r in
+    let consistency = Wire.read_hash_list r in
+    AnchorResp { root; size; consistency }
+  | 'w' -> ReceiptList (Wire.read_list r Wire.read_string)
+  | 'x' -> Error (Wire.read_string r)
+  | c -> raise (Wire.Malformed (Printf.sprintf "Ipc: bad response tag %C" c))
+
+let decode_response data = Wire.decode "Ipc.decode_response" read_response data
+
+(* Round-trip a request to [serve] through full marshalling on both sides.
+   Counter updates are atomic, so concurrent callers (server handler threads,
+   racing client sessions) never lose increments. *)
+let call t req ~serve =
+  Atomic.incr t.calls;
   let wire_req = encode_request req in
-  t.stats.bytes_out <- t.stats.bytes_out + String.length wire_req;
+  ignore (Atomic.fetch_and_add t.bytes_out (String.length wire_req));
   let response = serve (decode_request wire_req) in
-  let wire_resp =
-    let buf = Wire.writer () in
-    encode_response buf response;
-    Wire.contents buf
-  in
-  t.stats.bytes_in <- t.stats.bytes_in + String.length wire_resp;
-  decode_response (Wire.reader wire_resp)
+  let wire_resp = encode_response response in
+  ignore (Atomic.fetch_and_add t.bytes_in (String.length wire_resp));
+  decode_response wire_resp

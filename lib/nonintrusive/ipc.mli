@@ -1,18 +1,28 @@
-(** The cross-system boundary of the non-intrusive design: every interaction
-    pays full request/response marshalling (no artificial sleeps — the
-    modelled cost is the real serialization work a system boundary
-    imposes). *)
+(** The one request/response vocabulary every system boundary speaks.
+
+    The in-process non-intrusive design ({!Combined}) and the TCP server
+    ([lib/server]) share these codecs, so there is exactly one decoder for
+    untrusted request bytes and one for response bytes — both routed
+    through the {!Spitz_storage.Wire.decode} Malformed contract.
+
+    The in-process {!call} pays full request/response marshalling with no
+    artificial sleeps: the modelled cost is the real serialization work a
+    system boundary imposes. *)
 
 type stats = {
-  mutable calls : int;
-  mutable bytes_out : int;
-  mutable bytes_in : int;
+  calls : int;
+  bytes_out : int;
+  bytes_in : int;
 }
+(** A consistent snapshot of the boundary counters. *)
 
 type t
 
 val create : unit -> t
+
 val stats : t -> stats
+(** Counter snapshot; updates are atomic, so concurrent callers never lose
+    increments and this never tears. *)
 
 type request =
   | Put of string * string
@@ -23,13 +33,50 @@ type request =
   | Retract of string          (** record a deletion in the ledger *)
   | Prove of string
   | ProveRange of string * string
+  | GetBatch of int * string list
+      (** verified batch read pinned at a block height: one proof per set *)
+  | SnapGet of int * string
+      (** verified point read pinned at a block height *)
+  | SnapRange of int * string * string
+      (** verified range read pinned at a block height *)
+  | Anchor of int
+      (** digest fetch; the int is the client's currently pinned journal
+          size (0 = none), answered with a consistency proof from there *)
+  | Apply of { token : string; puts : (string * string) list; deletes : string list }
+      (** idempotent write batch: a server commits each [token] at most
+          once, so a client may blindly retry after a connection loss *)
+  | Receipts of int
+      (** write receipts of the block at this height *)
 
 val encode_request : request -> string
 val decode_request : string -> request
 (** Raises {!Spitz_storage.Wire.Malformed} on bad input. *)
 
-val call :
-  t -> request -> serve:(request -> 'resp) ->
-  encode_response:(Spitz_storage.Wire.writer -> 'resp -> unit) ->
-  decode_response:(Spitz_storage.Wire.reader -> 'a) -> 'a
+type anchor = {
+  root : Spitz_crypto.Hash.t;
+  size : int;
+  consistency : Spitz_crypto.Hash.t list;
+      (** append-only proof from the size named in the [Anchor] request *)
+}
+
+type response =
+  | Ack
+  | Committed of int                               (** block height *)
+  | Value of string option
+  | Entries of (string * string) list
+  | ValueProof of string option * string option
+      (** value plus encoded read proof ([None] on an empty ledger) *)
+  | EntriesProof of (string * string) list * string option
+  | BatchProof of string option list * string
+      (** values in key order plus one encoded batch proof *)
+  | AnchorResp of anchor
+  | ReceiptList of string list                     (** encoded write receipts *)
+  | Error of string
+
+val encode_response : response -> string
+val decode_response : string -> response
+(** Raises {!Spitz_storage.Wire.Malformed} on bad input. Proof payloads are
+    opaque here; decode them with the matching ledger wire codec. *)
+
+val call : t -> request -> serve:(request -> response) -> response
 (** Round-trip a request through full marshalling on both sides. *)

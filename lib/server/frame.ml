@@ -1,0 +1,56 @@
+open Spitz_storage
+
+let header_len = 8 (* 4-byte length + 4-byte crc, both little-endian *)
+let max_payload = 16 * 1024 * 1024
+
+exception Closed
+
+let encode payload =
+  let len = String.length payload in
+  if len > max_payload then invalid_arg "Frame.encode: payload too large";
+  let head = Bytes.create header_len in
+  Bytes.set_int32_le head 0 (Int32.of_int len);
+  Bytes.set_int32_le head 4 (Crc32.digest payload);
+  Bytes.unsafe_to_string head ^ payload
+
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd bytes off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd bytes (off + n) (len - n)
+  end
+
+let write fd payload =
+  let frame = encode payload in
+  write_all fd (Bytes.unsafe_of_string frame) 0 (String.length frame)
+
+(* Fill [buf] completely. [at_boundary] tells EOF apart: before any header
+   byte it is a clean close ([Closed]); anywhere else the frame is torn
+   ([End_of_file]). *)
+let read_exact fd buf ~at_boundary =
+  let len = Bytes.length buf in
+  let off = ref 0 in
+  while !off < len do
+    let n =
+      try Unix.read fd buf !off (len - !off)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    if n = 0 && !off = 0 && at_boundary then raise Closed
+    else if n = 0 then raise End_of_file
+    else off := !off + n
+  done
+
+let read fd =
+  let head = Bytes.create header_len in
+  read_exact fd head ~at_boundary:true;
+  let len = Int32.to_int (Bytes.get_int32_le head 0) land 0xFFFFFFFF in
+  if len > max_payload then
+    raise (Wire.Malformed (Printf.sprintf "Frame: oversized length header %d" len));
+  let crc = Bytes.get_int32_le head 4 in
+  let payload = Bytes.create len in
+  read_exact fd payload ~at_boundary:false;
+  let payload = Bytes.unsafe_to_string payload in
+  if Crc32.digest payload <> crc then raise (Wire.Malformed "Frame: CRC mismatch");
+  payload

@@ -1,0 +1,38 @@
+(** Wire framing of the TCP protocol: every request and every response
+    travels as one frame — an 8-byte header (4-byte little-endian payload
+    length, then the 4-byte little-endian CRC-32 of the payload) followed by
+    the payload bytes. The same length+CRC idiom as the write-ahead log, so
+    a torn or corrupted frame is detected before any payload byte is
+    interpreted.
+
+    The framing layer is deliberately dumb: it neither inspects nor buffers
+    beyond one frame, so a reader can never be made to allocate more than
+    {!max_payload} bytes by a hostile length header. *)
+
+val header_len : int
+(** 8 bytes. *)
+
+val max_payload : int
+(** Hard ceiling on a frame's payload (16 MiB). A header claiming more is
+    rejected before any allocation. *)
+
+exception Closed
+(** The peer closed the connection cleanly, at a frame boundary. *)
+
+val write : Unix.file_descr -> string -> unit
+(** Send one frame (header + payload), handling partial writes. Raises
+    [Invalid_argument] if the payload exceeds {!max_payload}; propagates
+    [Unix.Unix_error] on a broken connection. *)
+
+val read : Unix.file_descr -> string
+(** Receive one frame's payload.
+
+    Raises {!Closed} on clean EOF at a frame boundary, [End_of_file] when
+    the connection dies mid-frame (a torn frame), and
+    {!Spitz_storage.Wire.Malformed} on an oversized length header or a CRC
+    mismatch — after either of those the stream has lost framing and the
+    connection must be dropped. *)
+
+val encode : string -> string
+(** The exact bytes {!write} sends, for tests and fuzzers that need to
+    corrupt frames before sending them. *)

@@ -1,0 +1,303 @@
+open Spitz_storage
+module Db = Spitz.Db
+module Ipc = Spitz_nonintrusive.Ipc
+module Pool = Spitz_exec.Pool
+
+type config = {
+  port : int;
+  accept_domains : int;
+  max_connections : int;
+  backlog : int;
+}
+
+let default_config =
+  { port = 0; accept_domains = 2; max_connections = 64; backlog = 128 }
+
+type stats = {
+  accepted : int;
+  active : int;
+  requests : int;
+  bytes_in : int;
+  bytes_out : int;
+  malformed : int;
+}
+
+type t = {
+  db : Db.t;
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  pool : Pool.t;
+  stopping : bool Atomic.t;
+  mutable driver : Thread.t option;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  conns_mu : Mutex.t;
+  next_conn : int Atomic.t;
+  tokens : (string, int) Hashtbl.t;
+  tokens_mu : Mutex.t;
+  c_accepted : int Atomic.t;
+  c_active : int Atomic.t;
+  c_requests : int Atomic.t;
+  c_bytes_in : int Atomic.t;
+  c_bytes_out : int Atomic.t;
+  c_malformed : int Atomic.t;
+}
+
+let stats t =
+  {
+    accepted = Atomic.get t.c_accepted;
+    active = Atomic.get t.c_active;
+    requests = Atomic.get t.c_requests;
+    bytes_in = Atomic.get t.c_bytes_in;
+    bytes_out = Atomic.get t.c_bytes_out;
+    malformed = Atomic.get t.c_malformed;
+  }
+
+let port t = t.bound_port
+
+(* --- idempotent write tokens --- *)
+
+let token_prefix = "tx:"
+
+(* Recover every committed token from the journal's block statements, so a
+   client retrying an [Apply] after a server restart still gets the original
+   height back instead of a duplicate commit. *)
+let rebuild_tokens db tokens =
+  let ledger = Spitz.Auditor.ledger (Db.auditor db) in
+  let journal = Db.L.journal ledger in
+  for h = 0 to Db.L.height ledger - 1 do
+    List.iter
+      (fun s ->
+        if String.length s > String.length token_prefix
+           && String.sub s 0 (String.length token_prefix) = token_prefix
+        then
+          Hashtbl.replace tokens
+            (String.sub s (String.length token_prefix)
+               (String.length s - String.length token_prefix))
+            h)
+      (Spitz_ledger.Journal.block journal h).Spitz_ledger.Block.statements
+  done
+
+(* --- request dispatch --- *)
+
+(* The journal only ever grows, so a consistency proof computed between two
+   digest reads may anchor in a newer head than the one we read; retry until
+   the digest is stable around the proof (commit storms settle quickly). *)
+let anchor db known =
+  let rec go attempt =
+    let d : Spitz_ledger.Journal.digest = Db.digest db in
+    if known > d.size then
+      Ipc.Error (Printf.sprintf "anchor: client ahead of server (%d > %d)" known d.size)
+    else
+      let consistency = Db.consistency db ~old_size:known in
+      let d' : Spitz_ledger.Journal.digest = Db.digest db in
+      if d'.size = d.size || attempt > 8 then
+        Ipc.AnchorResp { Ipc.root = d.root; size = d.size; consistency }
+      else go (attempt + 1)
+  in
+  go 0
+
+let apply t ~token ~puts ~deletes =
+  Mutex.lock t.tokens_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.tokens_mu) @@ fun () ->
+  match Hashtbl.find_opt t.tokens token with
+  | Some h -> Ipc.Committed h
+  | None ->
+    let writes =
+      List.map (fun (k, v) -> Spitz_ledger.Ledger.Put (k, v)) puts
+      @ List.map (fun k -> Spitz_ledger.Ledger.Delete k) deletes
+    in
+    let h = Db.commit t.db ~statements:[ token_prefix ^ token ] writes in
+    Hashtbl.replace t.tokens token h;
+    Ipc.Committed h
+
+let serve t (req : Ipc.request) : Ipc.response =
+  let db = t.db in
+  match req with
+  | Ipc.Put (k, v) -> Ipc.Committed (Db.put db k v)
+  | Ipc.Delete k -> Ipc.Committed (Db.delete db k)
+  | Ipc.Get k -> Ipc.Value (Db.get db k)
+  | Ipc.Range (lo, hi) -> Ipc.Entries (Db.range db ~lo ~hi)
+  | Ipc.Commit kvs -> Ipc.Committed (Db.put_batch db kvs)
+  | Ipc.Retract k -> Ipc.Committed (Db.delete db k)
+  | Ipc.Prove k ->
+    let value, proof = Db.get_verified db k in
+    Ipc.ValueProof (value, Option.map Db.L.encode_read_proof proof)
+  | Ipc.ProveRange (lo, hi) ->
+    let entries, proof = Db.range_verified db ~lo ~hi in
+    Ipc.EntriesProof (entries, Option.map Db.L.encode_read_proof proof)
+  | Ipc.GetBatch (height, keys) -> (
+    match Db.snapshot ~height db with
+    | None -> Ipc.Error "empty database"
+    | Some snap ->
+      let values, proof = Db.Snapshot.get_batch_verified snap keys in
+      Ipc.BatchProof (values, Db.L.encode_batch_proof proof))
+  | Ipc.SnapGet (height, k) -> (
+    match Db.snapshot ~height db with
+    | None -> Ipc.Error "empty database"
+    | Some snap ->
+      let value, proof = Db.Snapshot.get_verified snap k in
+      Ipc.ValueProof (value, Some (Db.L.encode_read_proof proof)))
+  | Ipc.SnapRange (height, lo, hi) -> (
+    match Db.snapshot ~height db with
+    | None -> Ipc.Error "empty database"
+    | Some snap ->
+      let entries, proof = Db.Snapshot.range_verified snap ~lo ~hi in
+      Ipc.EntriesProof (entries, Some (Db.L.encode_read_proof proof)))
+  | Ipc.Anchor known -> anchor db known
+  | Ipc.Apply { token; puts; deletes } -> apply t ~token ~puts ~deletes
+  | Ipc.Receipts height ->
+    let ledger = Spitz.Auditor.ledger (Db.auditor db) in
+    Ipc.ReceiptList
+      (List.map Db.L.encode_receipt (Db.L.write_receipts ledger ~height))
+
+(* Anything a single bad request can provoke becomes an [Error] reply; only
+   a framing loss or a dead peer ends the connection. *)
+let serve_safe t req =
+  try serve t req with
+  | Wire.Malformed msg -> Ipc.Error msg
+  | Invalid_argument msg -> Ipc.Error msg
+  | Not_found -> Ipc.Error "not found"
+  | Failure msg -> Ipc.Error msg
+
+(* --- connection handling --- *)
+
+let register_conn t fd =
+  let id = Atomic.fetch_and_add t.next_conn 1 in
+  Mutex.lock t.conns_mu;
+  Hashtbl.replace t.conns id fd;
+  Mutex.unlock t.conns_mu;
+  id
+
+let unregister_conn t id =
+  Mutex.lock t.conns_mu;
+  Hashtbl.remove t.conns id;
+  Mutex.unlock t.conns_mu
+
+let handle t fd =
+  let continue = ref true in
+  while !continue do
+    match Frame.read fd with
+    | exception Frame.Closed -> continue := false
+    | exception End_of_file ->
+      (* torn frame: the peer died mid-frame *)
+      Atomic.incr t.c_malformed;
+      continue := false
+    | exception Wire.Malformed _ ->
+      (* bad length header or CRC: framing is lost, drop the connection *)
+      Atomic.incr t.c_malformed;
+      continue := false
+    | exception Unix.Unix_error _ -> continue := false
+    | payload -> (
+      ignore (Atomic.fetch_and_add t.c_bytes_in (String.length payload));
+      Atomic.incr t.c_requests;
+      let response =
+        match Ipc.decode_request payload with
+        | req -> serve_safe t req
+        | exception Wire.Malformed msg ->
+          (* frame intact, payload garbage: reject and keep serving *)
+          Atomic.incr t.c_malformed;
+          Ipc.Error msg
+      in
+      let out = Ipc.encode_response response in
+      ignore (Atomic.fetch_and_add t.c_bytes_out (String.length out));
+      match Frame.write fd out with
+      | () -> ()
+      | exception (Unix.Unix_error _ | Invalid_argument _) -> continue := false)
+  done
+
+let handle_conn t (id, fd) =
+  Fun.protect
+    ~finally:(fun () ->
+      unregister_conn t id;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Atomic.decr t.c_active)
+    (fun () -> handle t fd)
+
+(* One accept loop per pool index. The listen fd is non-blocking and shared:
+   select with a short timeout keeps the loop responsive to the stop flag
+   (a blocked [accept] on a closed fd never wakes on Linux), and a losing
+   racer simply sees EAGAIN. Handler threads are joined before the loop
+   returns, so the pool's domains are clean when [parallel_for] finishes. *)
+let accept_loop t _idx =
+  let threads = ref [] in
+  while not (Atomic.get t.stopping) do
+    if Atomic.get t.c_active >= t.cfg.max_connections then Thread.delay 0.002
+    else
+      match Unix.select [ t.listen_fd ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED | Unix.EINTR), _, _)
+          ->
+          ()
+        | exception Unix.Unix_error (Unix.EBADF, _, _) -> Atomic.set t.stopping true
+        | fd, _ ->
+          Unix.clear_nonblock fd;
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+          Atomic.incr t.c_accepted;
+          Atomic.incr t.c_active;
+          let id = register_conn t fd in
+          threads := Thread.create (handle_conn t) (id, fd) :: !threads)
+      | exception Unix.Unix_error _ -> Thread.delay 0.01
+  done;
+  List.iter Thread.join !threads
+
+let start ?(config = default_config) db =
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, config.port));
+  Unix.listen listen_fd config.backlog;
+  Unix.set_nonblock listen_fd;
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let t =
+    {
+      db;
+      cfg = config;
+      listen_fd;
+      bound_port;
+      pool = Pool.create config.accept_domains;
+      stopping = Atomic.make false;
+      driver = None;
+      conns = Hashtbl.create 64;
+      conns_mu = Mutex.create ();
+      next_conn = Atomic.make 0;
+      tokens = Hashtbl.create 64;
+      tokens_mu = Mutex.create ();
+      c_accepted = Atomic.make 0;
+      c_active = Atomic.make 0;
+      c_requests = Atomic.make 0;
+      c_bytes_in = Atomic.make 0;
+      c_bytes_out = Atomic.make 0;
+      c_malformed = Atomic.make 0;
+    }
+  in
+  rebuild_tokens db t.tokens;
+  t.driver <-
+    Some
+      (Thread.create
+         (fun () -> Pool.parallel_for t.pool ~chunk:1 config.accept_domains (accept_loop t))
+         ());
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* Wake every handler blocked in a read: half-close the receive side so
+       the current request still gets served and its response flushed. *)
+    Mutex.lock t.conns_mu;
+    Hashtbl.iter
+      (fun _ fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      t.conns;
+    Mutex.unlock t.conns_mu;
+    (match t.driver with Some th -> Thread.join th | None -> ());
+    t.driver <- None;
+    Pool.shutdown t.pool;
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  end

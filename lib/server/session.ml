@@ -1,0 +1,186 @@
+module Db = Spitz.Db
+module Ipc = Spitz_nonintrusive.Ipc
+module Journal = Spitz_ledger.Journal
+
+exception Verification_failed of string
+exception Server_error of string
+
+type t = {
+  port : int;
+  retries : int;
+  mutable fd : Unix.file_descr option;
+  verifier : Db.V.t;
+  nonce : string;
+  mutable seq : int;
+}
+
+let session_counter = Atomic.make 0
+
+let connect ?(retries = 3) ~port () =
+  {
+    port;
+    retries;
+    fd = None;
+    verifier = Db.V.create ();
+    nonce =
+      Printf.sprintf "%d.%d.%d" (Unix.getpid ())
+        (Atomic.fetch_and_add session_counter 1)
+        (int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF);
+    seq = 0;
+  }
+
+let disconnect t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    t.fd <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let close = disconnect
+
+let ensure_connected t =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, t.port));
+       Unix.setsockopt fd Unix.TCP_NODELAY true
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    t.fd <- Some fd;
+    fd
+
+(* Every request a session issues is idempotent (writes carry Apply tokens),
+   so a connection loss at any point — before the request reached the
+   server, or after it was served but before the response arrived — is
+   safely retried by reconnecting and resending. *)
+let rpc t req =
+  let payload = Ipc.encode_request req in
+  let rec go attempt =
+    match
+      let fd = ensure_connected t in
+      Frame.write fd payload;
+      Ipc.decode_response (Frame.read fd)
+    with
+    | resp -> resp
+    | exception ((Frame.Closed | End_of_file | Unix.Unix_error _) as e) ->
+      disconnect t;
+      if attempt >= t.retries then raise e
+      else begin
+        Thread.delay (0.01 *. float_of_int (attempt + 1));
+        go (attempt + 1)
+      end
+  in
+  match go 0 with Ipc.Error msg -> raise (Server_error msg) | resp -> resp
+
+let protocol_error what =
+  raise (Spitz_storage.Wire.Malformed ("Session: unexpected response to " ^ what))
+
+let digest t = Db.V.digest t.verifier
+let pin_height t = Option.map (fun (d : Journal.digest) -> d.size - 1) (digest t)
+let checked t = Db.V.checked t.verifier
+let failures t = Db.V.failures t.verifier
+
+let sync t =
+  let known = match digest t with None -> 0 | Some d -> d.size in
+  match rpc t (Ipc.Anchor known) with
+  | Ipc.AnchorResp { Ipc.root; size; consistency } ->
+    let d : Journal.digest = { root; size } in
+    if not (Db.V.sync t.verifier ~digest:d ~consistency) then
+      raise
+        (Verification_failed
+           (Printf.sprintf "anchor at size %d is not an append-only extension of %d"
+              size known))
+  | _ -> protocol_error "Anchor"
+
+(* Pin a digest we can serve verified reads at; [None] only when the server
+   has never committed (nothing to verify — every key is vacuously absent). *)
+let reading_pin t =
+  (match digest t with None -> sync t | Some _ -> ());
+  match digest t with
+  | Some d when d.size > 0 -> Some d
+  | _ -> None
+
+(* --- writes --- *)
+
+let apply t ~token ~puts ~deletes =
+  match rpc t (Ipc.Apply { token; puts; deletes }) with
+  | Ipc.Committed h -> h
+  | _ -> protocol_error "Apply"
+
+let fresh_token t =
+  let s = t.seq in
+  t.seq <- s + 1;
+  Printf.sprintf "%s.%d" t.nonce s
+
+let applied t ~puts ~deletes =
+  let h = apply t ~token:(fresh_token t) ~puts ~deletes in
+  sync t;
+  h
+
+let put t k v = applied t ~puts:[ (k, v) ] ~deletes:[]
+let put_batch t kvs = applied t ~puts:kvs ~deletes:[]
+let delete t k = applied t ~puts:[] ~deletes:[ k ]
+
+(* --- reads --- *)
+
+let get t k =
+  match rpc t (Ipc.Get k) with Ipc.Value v -> v | _ -> protocol_error "Get"
+
+let range t ~lo ~hi =
+  match rpc t (Ipc.Range (lo, hi)) with
+  | Ipc.Entries es -> es
+  | _ -> protocol_error "Range"
+
+let get_verified t k =
+  match reading_pin t with
+  | None -> None
+  | Some d -> (
+    match rpc t (Ipc.SnapGet (d.size - 1, k)) with
+    | Ipc.ValueProof (value, Some proof) -> (
+      let proof = Db.L.decode_read_proof proof in
+      match Db.V.submit_read t.verifier ~key:k ~value proof with
+      | Some true -> value
+      | _ -> raise (Verification_failed ("read proof for " ^ k)))
+    | Ipc.ValueProof (_, None) ->
+      raise (Verification_failed ("missing read proof for " ^ k))
+    | _ -> protocol_error "SnapGet")
+
+let get_batch_verified t keys =
+  match reading_pin t with
+  | None -> List.map (fun _ -> None) keys
+  | Some d -> (
+    match rpc t (Ipc.GetBatch (d.size - 1, keys)) with
+    | Ipc.BatchProof (values, proof) ->
+      if List.length values <> List.length keys then
+        raise (Verification_failed "batch read: wrong arity");
+      let proof = Db.L.decode_batch_proof proof in
+      if not (Db.L.verify_batch_read ~digest:d ~items:(List.combine keys values) proof)
+      then raise (Verification_failed "batch read proof");
+      values
+    | _ -> protocol_error "GetBatch")
+
+let range_verified t ~lo ~hi =
+  match reading_pin t with
+  | None -> []
+  | Some d -> (
+    match rpc t (Ipc.SnapRange (d.size - 1, lo, hi)) with
+    | Ipc.EntriesProof (entries, Some proof) -> (
+      let proof = Db.L.decode_read_proof proof in
+      match Db.V.submit_range t.verifier ~lo ~hi ~entries proof with
+      | Some true -> entries
+      | _ -> raise (Verification_failed "range proof"))
+    | Ipc.EntriesProof (_, None) ->
+      raise (Verification_failed "missing range proof")
+    | _ -> protocol_error "SnapRange")
+
+(* --- receipts --- *)
+
+let receipts t ~height =
+  match rpc t (Ipc.Receipts height) with
+  | Ipc.ReceiptList rs -> List.map Db.L.decode_receipt rs
+  | _ -> protocol_error "Receipts"
+
+let verify_receipt t receipt = Db.V.submit_write t.verifier receipt = Some true

@@ -5,8 +5,10 @@
 #   scripts/fuzz.sh --deadline 3600        # one hour
 #   scripts/fuzz.sh --fuzz-seed 12345      # replay a logged master seed
 #
-# Every round logs its seed; a failing round replays exactly with
-# --fuzz-seed, or in utop with Spitz_check.Fuzz.fuzz_all ~seed:<seed> ().
+# Each round mutates proofs/receipts/WAL files against every verifier and
+# protocol frames against a live loopback server. Every round logs its
+# seed; a failing round replays exactly with --fuzz-seed, or in utop with
+# Spitz_check.Fuzz.fuzz_all ~seed:<seed> ().
 # Exits nonzero on any accepted mutant or foreign exception. Cumulative
 # counts land in BENCH_results.json (override with --out FILE).
 set -eu

@@ -102,6 +102,14 @@ let test_fuzz_budget () =
     r.Fuzz.total
     (r.Fuzz.rejected_decode + r.Fuzz.rejected_verify + r.Fuzz.benign)
 
+let test_fuzz_frames_quick () =
+  (* a small fixed-seed slice of the live-server frame fuzzer: mutated
+     frames against a loopback server, nothing accepted, nothing foreign,
+     server healthy throughout *)
+  let r = Fuzz.fuzz_frames ~cases:150 ~seed:0xF4A3 () in
+  if not (Fuzz.ok r) then Alcotest.fail (Fuzz.pp_report r);
+  Alcotest.(check bool) "cases ran" true (r.Fuzz.total >= 150)
+
 let test_decoders_reject_truncations () =
   (* every strict prefix of a canonical encoding must raise Malformed — the
      PR-3 hardening, now uniform across all top-level decoders *)
@@ -341,7 +349,10 @@ let suite =
       (differential "concurrent reads" Differ.check_concurrent_reads 10 0x2EAD);
     Alcotest.test_case "differ: checkpoint storm serializable" `Quick
       (differential "checkpoint storm" Differ.check_checkpoint_storm 6 0xC4E7);
+    Alcotest.test_case "differ: concurrent clients over loopback" `Quick
+      (differential "concurrent clients" Differ.check_concurrent_clients 6 0xCC1E);
     Alcotest.test_case "fuzz: 10k+ mutants, zero accepted, zero foreign" `Slow test_fuzz_budget;
+    Alcotest.test_case "fuzz: live frame mutants rejected" `Quick test_fuzz_frames_quick;
     Alcotest.test_case "fuzz: all truncations rejected" `Quick test_decoders_reject_truncations;
     Alcotest.test_case "wire: absurd list length rejected" `Quick test_wire_list_length_cap;
     Alcotest.test_case "regression: duplicate key in one batch" `Quick

@@ -15,4 +15,5 @@ let () =
       ("query", Test_query.suite);
       ("control", Test_control.suite);
       ("check", Test_check.suite);
+      ("server", Test_server.suite);
     ]

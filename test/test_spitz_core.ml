@@ -199,6 +199,35 @@ let test_db_snapshot_at_height () =
      | exception Invalid_argument _ -> true
      | _ -> false)
 
+let test_db_snapshot_at_anchors_own_height () =
+  (* regression: a historical snapshot must anchor its proofs at the digest
+     as of the pinned block — not whatever the head happens to be at pin
+     time. A client that pinned the digest at height h verifies reads
+     against it no matter how far the chain has since grown. *)
+  let db = Db.open_db () in
+  let h = Db.put db "k" "v1" in
+  ignore (Db.put db "j" "w");
+  let pinned = Db.digest db in
+  (* the chain grows well past the pin before the snapshot is taken *)
+  for i = 0 to 8 do
+    ignore (Db.put db "k" (Printf.sprintf "v%d" (i + 2)))
+  done;
+  let s = Option.get (Db.snapshot ~height:(h + 1) db) in
+  Alcotest.(check int) "snapshot digest size = height + 1"
+    (h + 2) (Db.Snapshot.digest s).Spitz_ledger.Journal.size;
+  Alcotest.(check bool) "snapshot digest = digest pinned back then" true
+    (Db.Snapshot.digest s = pinned);
+  let v, p = Db.Snapshot.get_verified s "k" in
+  Alcotest.(check (option string)) "historical value" (Some "v1") v;
+  Alcotest.(check bool) "proof verifies under the client's old pin" true
+    (Db.verify_read ~digest:pinned ~key:"k" ~value:v p);
+  Alcotest.(check bool) "proof rejected under the moved-on head" false
+    (Db.verify_read ~digest:(Db.digest db) ~key:"k" ~value:v p);
+  let keys = [ "j"; "k"; "zzz" ] in
+  let vs, bp = Db.Snapshot.get_batch_verified s keys in
+  Alcotest.(check bool) "batch proof verifies under the old pin" true
+    (Db.verify_batch_read ~digest:pinned ~items:(List.combine keys vs) bp)
+
 let test_db_snapshot_validity () =
   let db = Db.open_db () in
   for i = 0 to 63 do
@@ -345,6 +374,8 @@ let suite =
     Alcotest.test_case "db detects tampering" `Quick test_db_detects_tampering;
     Alcotest.test_case "db snapshot pins state" `Quick test_db_snapshot_pins_state;
     Alcotest.test_case "db snapshot at height" `Quick test_db_snapshot_at_height;
+    Alcotest.test_case "db snapshot anchors at its own height" `Quick
+      test_db_snapshot_at_anchors_own_height;
     Alcotest.test_case "db snapshot validity" `Quick test_db_snapshot_validity;
     Alcotest.test_case "db proof cache" `Quick test_db_proof_cache;
     Alcotest.test_case "db snapshot atomic under commits" `Quick
