@@ -1814,13 +1814,179 @@ let server_bench () =
   pr " must not change digests, and a verifying client must still be able\n";
   pr " to proof-check everything it reads)\n"
 
+(* ---------- codec: buffer-layer allocation micro-benchmarks ---------- *)
+
+(* Measures the zero-copy spine against the legacy string paths (which the
+   public API keeps): node identity hashed straight from the encoder's
+   buffer vs encode-to-string-then-hash, dedup-hit stores through
+   [put_writer] vs [put], response frames gathered from a reused writer vs
+   string-concatenated, plus decode and WAL-append rates. Reports ops/s and
+   [Gc.allocated_bytes] per op, asserts the >= 30%% allocation win on the
+   encode and frame paths, and with [--gate] compares against the committed
+   baseline in the results file, failing on a > 25%% regression. *)
+
+let gate = ref false
+
+let codec () =
+  let module Wire = Spitz_storage.Wire in
+  let module Kv = Spitz_adt.Kv_node in
+  let module Hash = Spitz_crypto.Hash in
+  let module Ipc = Spitz_nonintrusive.Ipc in
+  let module Frame = Spitz_server.Frame in
+  let module Wal = Spitz_storage.Wal in
+  (* snapshot the committed baseline before this run overwrites --out *)
+  let baseline =
+    if not !gate then None
+    else
+      match In_channel.with_open_bin !out_file In_channel.input_all with
+      | exception Sys_error _ -> None
+      | text -> (
+        match J.of_string text with
+        | exception J.Parse_error _ -> None
+        | j -> J.member "codec" j)
+  in
+  if !gate && baseline = None then begin
+    pr "codec --gate: no committed codec baseline in %s\n" !out_file;
+    exit_code := 1
+  end;
+  let iters = max 10_000 !ops in
+  pr "\n== Codec: buffer-layer allocations (%d ops/point) ==\n" iters;
+  pr "%-22s%14s%14s%12s%12s%9s\n" "path" "legacy B/op" "new B/op" "legacy k/s"
+    "new k/s" "saving";
+  let measure f =
+    f 0;
+    (* warm-up: caches, lazy tables, buffer growth *)
+    Gc.full_major ();
+    let a0 = Gc.allocated_bytes () in
+    let (), wall = Runner.time (fun () -> for i = 1 to iters do f i done) in
+    let a1 = Gc.allocated_bytes () in
+    ((a1 -. a0) /. float_of_int iters, float_of_int iters /. wall)
+  in
+  let json = ref [] in
+  let compare_row name (legacy_b, legacy_thr) (new_b, new_thr) =
+    let saving = if legacy_b > 0. then 1. -. (new_b /. legacy_b) else 0. in
+    pr "%-22s%14.1f%14.1f%12.1f%12.1f%8.1f%%\n" name legacy_b new_b
+      (Runner.kops legacy_thr) (Runner.kops new_thr) (100. *. saving);
+    json :=
+      ( name,
+        J.Obj
+          [
+            ("legacy_bytes_per_op", J.Num legacy_b);
+            ("new_bytes_per_op", J.Num new_b);
+            ("legacy_kops", J.Num (Runner.kops legacy_thr));
+            ("new_kops", J.Num (Runner.kops new_thr));
+            ("saving", J.Num saving);
+          ] )
+      :: !json;
+    saving
+  in
+  let single_row name (b, thr) =
+    pr "%-22s%14s%14.1f%12s%12.1f%9s\n" name "-" b "-" (Runner.kops thr) "-";
+    json :=
+      (name, J.Obj [ ("bytes_per_op", J.Num b); ("kops", J.Num (Runner.kops thr)) ])
+      :: !json
+  in
+  (* a rotation of realistic leaf nodes (~16 entries each) *)
+  let nnodes = 64 in
+  let nodes =
+    Array.init nnodes (fun i ->
+        Kv.Leaf
+          (List.init 16 (fun j ->
+               let k = Keygen.key_of ((i * 16) + j) in
+               (k, Keygen.value_of k))))
+  in
+  let node i = nodes.(i mod nnodes) in
+  (* node identity: encode + hash *)
+  let buf = Wire.writer ~size:1024 () in
+  let encode_saving =
+    compare_row "encode+identity"
+      (measure (fun i -> ignore (Hash.of_string (Kv.encode (node i)))))
+      (measure (fun i ->
+           Wire.clear buf;
+           Kv.encode_into buf (node i);
+           ignore (Wire.digest buf)))
+  in
+  (* dedup-hit store: the shared-subtree common case *)
+  let store = Spitz_storage.Object_store.create () in
+  Array.iter (fun n -> ignore (Kv.save store n)) nodes;
+  ignore
+    (compare_row "store put (dedup hit)"
+       (measure (fun i -> ignore (Spitz_storage.Object_store.put store (Kv.encode (node i)))))
+       (measure (fun i ->
+            Wire.clear buf;
+            Kv.encode_into buf (node i);
+            ignore (Spitz_storage.Object_store.put_writer store buf))));
+  (* decode throughput (string and slice windows decode identically) *)
+  let encoded = Array.map Kv.encode nodes in
+  single_row "decode node" (measure (fun i -> ignore (Kv.decode encoded.(i mod nnodes))));
+  (* served frame: encode a response and put it on the wire *)
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Fun.protect ~finally:(fun () -> Unix.close devnull) @@ fun () ->
+  let resp =
+    Ipc.Entries (List.init 8 (fun j -> (Keygen.key_of j, Keygen.value_of (Keygen.key_of j))))
+  in
+  let scratch = Frame.scratch () in
+  let out = Wire.writer ~size:1024 () in
+  let frame_saving =
+    compare_row "serve frame"
+      (measure (fun _ -> Frame.write devnull (Ipc.encode_response resp)))
+      (measure (fun _ ->
+           Wire.clear out;
+           Ipc.write_response out resp;
+           Frame.write_slices ~scratch devnull [ Wire.view out ]))
+  in
+  (* WAL append: frame + write from the batch writer, no fsync *)
+  let wal_dir = Filename.concat (temp_dir ()) "wal" in
+  let wal = Wal.open_log ~sync:Wal.Never wal_dir in
+  let record = encoded.(0) in
+  single_row "wal append" (measure (fun _ -> Wal.append wal record));
+  Wal.close wal;
+  rm_rf (Filename.dirname wal_dir);
+  (* acceptance: the zero-copy spine must beat the legacy paths by >= 30% *)
+  if encode_saving < 0.30 then begin
+    pr "FAIL: encode+identity allocation saving %.1f%% < 30%%\n" (100. *. encode_saving);
+    exit_code := 1
+  end;
+  if frame_saving < 0.30 then begin
+    pr "FAIL: serve frame allocation saving %.1f%% < 30%%\n" (100. *. frame_saving);
+    exit_code := 1
+  end;
+  (* regression gate against the committed baseline *)
+  (match baseline with
+   | None -> ()
+   | Some base ->
+     let current = !json in
+     let check path field =
+       match
+         ( Option.bind (J.member path base) (fun o ->
+               Option.bind (J.member field o) J.to_float),
+           Option.bind (List.assoc_opt path current) (fun o ->
+               Option.bind (J.member field o) J.to_float) )
+       with
+       | Some was, Some now when was > 0. && now > was *. 1.25 ->
+         pr "GATE FAIL: %s %s regressed %.1f -> %.1f B/op (> +25%%)\n" path field was now;
+         exit_code := 1
+       | _ -> ()
+     in
+     check "encode+identity" "new_bytes_per_op";
+     check "store put (dedup hit)" "new_bytes_per_op";
+     check "serve frame" "new_bytes_per_op";
+     check "decode node" "bytes_per_op";
+     check "wal append" "bytes_per_op";
+     pr "gate: checked against committed baseline (threshold +25%%)\n");
+  add_result "codec" (J.Obj (List.rev !json));
+  pr "(expected shape: the new paths allocate >= 30%% less on encode+identity\n";
+  pr " and serve-frame — no contents string, no header concat — and a dedup-\n";
+  pr " hit store allocates no copy of the encoding at all)\n"
+
 (* ---------- driver ---------- *)
 
 let usage () =
   pr
     "usage: main.exe \
-     [fig1|fig6a|fig6b|fig7|fig8a|fig8b|siri|verify|verify-mode|cc|learned|pipeline|durability|group-commit|checkpoint|read-scale|server|bechamel|fuzz|all]\n\
+     [fig1|fig6a|fig6b|fig7|fig8a|fig8b|siri|verify|verify-mode|cc|learned|pipeline|durability|group-commit|checkpoint|read-scale|server|codec|bechamel|fuzz|all]\n\
     \       [--scale N] [--ops N] [--domains N] [--out FILE]\n\
+    \       [--gate]   (codec: fail on a >25%% bytes/op regression vs the committed baseline)\n\
     \       [--deadline SECONDS] [--fuzz-seed N]   (fuzz; seed 0 = time-derived)\n";
   exit 1
 
@@ -1853,6 +2019,9 @@ let () =
       parse rest
     | "--out" :: v :: rest ->
       out_file := v;
+      parse rest
+    | "--gate" :: rest ->
+      gate := true;
       parse rest
     | "--deadline" :: v :: rest ->
       (match float_of_string_opt v with
@@ -1893,6 +2062,7 @@ let () =
     | "checkpoint" -> checkpoint_bench ()
     | "read-scale" -> read_scale ()
     | "server" -> server_bench ()
+    | "codec" -> codec ()
     | "bechamel" -> bechamel ()
     | "fuzz" -> fuzz_cmd ()
     | "all" ->
@@ -1912,6 +2082,7 @@ let () =
       checkpoint_bench ();
       read_scale ();
       server_bench ();
+      codec ();
       bechamel ()
     | cmd ->
       pr "unknown command %S\n" cmd;

@@ -10,19 +10,22 @@ type node =
   | Leaf of (string * string) list
   | Internal of (string * Hash.t) list
 
+let encode_into buf node =
+  match node with
+  | Leaf entries ->
+    Wire.write_byte buf 'L';
+    Wire.write_list buf
+      (fun buf (k, v) -> Wire.write_string buf k; Wire.write_string buf v)
+      entries
+  | Internal children ->
+    Wire.write_byte buf 'I';
+    Wire.write_list buf
+      (fun buf (k, h) -> Wire.write_string buf k; Wire.write_hash buf h)
+      children
+
 let encode node =
   let buf = Wire.writer () in
-  (match node with
-   | Leaf entries ->
-     Wire.write_byte buf 'L';
-     Wire.write_list buf
-       (fun buf (k, v) -> Wire.write_string buf k; Wire.write_string buf v)
-       entries
-   | Internal children ->
-     Wire.write_byte buf 'I';
-     Wire.write_list buf
-       (fun buf (k, h) -> Wire.write_string buf k; Wire.write_hash buf h)
-       children);
+  encode_into buf node;
   Wire.contents buf
 
 let decode data =
@@ -62,7 +65,13 @@ let load store h =
     Node_cache.add cache h node;
     node
 
-let save store node = Object_store.put store (encode node)
+(* Encode into a fresh writer and store straight from its buffer: the
+   identity hash is computed in place, and a dedup hit (shared subtree
+   node) never materializes the encoding as a string at all. *)
+let save store node =
+  let buf = Wire.writer () in
+  encode_into buf node;
+  Object_store.put_writer store buf
 
 (* Index of the child to follow for [key]: the last separator <= key, or the
    first child when the key sorts before everything. *)

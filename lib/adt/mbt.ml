@@ -15,19 +15,17 @@ type node =
   | Bucket of (string * string) list (* sorted (key, value) *)
   | Inner of Hash.t * Hash.t
 
-let encode_node node =
-  let buf = Wire.writer () in
-  (match node with
-   | Bucket entries ->
-     Wire.write_byte buf 'K';
-     Wire.write_list buf
-       (fun buf (k, v) -> Wire.write_string buf k; Wire.write_string buf v)
-       entries
-   | Inner (l, r) ->
-     Wire.write_byte buf 'N';
-     Wire.write_hash buf l;
-     Wire.write_hash buf r);
-  Wire.contents buf
+let encode_node_into buf node =
+  match node with
+  | Bucket entries ->
+    Wire.write_byte buf 'K';
+    Wire.write_list buf
+      (fun buf (k, v) -> Wire.write_string buf k; Wire.write_string buf v)
+      entries
+  | Inner (l, r) ->
+    Wire.write_byte buf 'N';
+    Wire.write_hash buf l;
+    Wire.write_hash buf r
 
 let decode_node data =
   let r = Wire.reader data in
@@ -72,8 +70,14 @@ let create_sized ~buckets store =
     invalid_arg "Mbt.create_sized: buckets must be a power of two >= 2";
   let depth = log2 buckets in
   (* Build the empty tree bottom-up; all buckets share one empty node. *)
-  let empty_bucket = Object_store.put store (encode_node (Bucket [])) in
-  let rec up h level = if level = 0 then h else up (Object_store.put store (encode_node (Inner (h, h)))) (level - 1) in
+  let buf = Wire.writer () in
+  let put node =
+    Wire.clear buf;
+    encode_node_into buf node;
+    Object_store.put_writer store buf
+  in
+  let empty_bucket = put (Bucket []) in
+  let rec up h level = if level = 0 then h else up (put (Inner (h, h))) (level - 1) in
   { store; buckets; depth; root = up empty_bucket depth; count = 0 }
 
 let create store = create_sized ~buckets:default_buckets store
@@ -97,7 +101,10 @@ let load t h =
     Node_cache.add cache h node;
     node
 
-let save t node = Object_store.put t.store (encode_node node)
+let save t node =
+  let buf = Wire.writer () in
+  encode_node_into buf node;
+  Object_store.put_writer t.store buf
 
 (* Bit i (from the top) of the bucket index steers the descent at depth i. *)
 let bit_at t bucket level = (bucket lsr (t.depth - 1 - level)) land 1

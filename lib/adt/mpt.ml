@@ -23,27 +23,25 @@ type node =
   | Ext of string * Hash.t                     (* shared nibble path, child *)
   | Branch of Hash.t option array * string option (* 16 children, value ending here *)
 
-let encode_node node =
-  let buf = Wire.writer () in
-  (match node with
-   | Leaf (path, value) ->
-     Wire.write_byte buf 'L';
-     Wire.write_string buf path;
-     Wire.write_string buf value
-   | Ext (path, child) ->
-     Wire.write_byte buf 'E';
-     Wire.write_string buf path;
-     Wire.write_hash buf child
-   | Branch (children, value) ->
-     Wire.write_byte buf 'B';
-     let bitmap = ref 0 in
-     Array.iteri (fun i c -> if c <> None then bitmap := !bitmap lor (1 lsl i)) children;
-     Wire.write_varint buf !bitmap;
-     Array.iter (function Some h -> Wire.write_hash buf h | None -> ()) children;
-     (match value with
-      | Some v -> Wire.write_byte buf '\001'; Wire.write_string buf v
-      | None -> Wire.write_byte buf '\000'));
-  Wire.contents buf
+let encode_node_into buf node =
+  match node with
+  | Leaf (path, value) ->
+    Wire.write_byte buf 'L';
+    Wire.write_string buf path;
+    Wire.write_string buf value
+  | Ext (path, child) ->
+    Wire.write_byte buf 'E';
+    Wire.write_string buf path;
+    Wire.write_hash buf child
+  | Branch (children, value) ->
+    Wire.write_byte buf 'B';
+    let bitmap = ref 0 in
+    Array.iteri (fun i c -> if c <> None then bitmap := !bitmap lor (1 lsl i)) children;
+    Wire.write_varint buf !bitmap;
+    Array.iter (function Some h -> Wire.write_hash buf h | None -> ()) children;
+    (match value with
+     | Some v -> Wire.write_byte buf '\001'; Wire.write_string buf v
+     | None -> Wire.write_byte buf '\000')
 
 let decode_node data =
   let r = Wire.reader data in
@@ -105,7 +103,10 @@ let load t h =
     Node_cache.add cache h node;
     node
 
-let save t node = Object_store.put t.store (encode_node node)
+let save t node =
+  let buf = Wire.writer () in
+  encode_node_into buf node;
+  Object_store.put_writer t.store buf
 
 let common_prefix_len a b =
   let n = min (String.length a) (String.length b) in

@@ -211,7 +211,7 @@ let leaf_of_record key value =
   let buf = Wire.writer () in
   Wire.write_string buf key;
   Wire.write_string buf value;
-  Hash.leaf (Wire.contents buf)
+  Wire.leaf_digest buf
 
 let rebuild_shadow ?pool t =
   let records = ref [] in

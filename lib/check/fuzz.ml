@@ -605,10 +605,116 @@ let fuzz_frames ?(cases = 400) ~seed () =
   done;
   !r
 
-let fuzz_all ?mutants_per_target ?wal_cases ?frame_cases ~seed () =
+(* --- slice-decode equivalence ---
+
+   Property: decoding bytes through a [Slice.t] window equals decoding the
+   same bytes as a standalone string — the same value, or the same
+   [Wire.Malformed] rejection (the messages too: the reader code is shared,
+   only the window differs). Exercised on honest encodings and random
+   mutants, each embedded at a random offset inside a larger buffer — with
+   live bytes before and after the window — plus directed edge cases: the
+   empty slice, a window ending exactly at the buffer's end, and a torn
+   varint whose continuation bytes stop at the slice edge while decodable
+   bytes continue beyond it. A reader that consulted the base buffer's
+   length instead of the window limit would read through the edge and
+   diverge; the window must behave exactly like a copy. *)
+
+module Slice = Spitz_storage.Slice
+
+(* A reader shaped like the node codecs: every Wire read primitive. *)
+let read_shaped r =
+  let tag = Wire.read_byte r in
+  let kvs =
+    Wire.read_list r (fun r ->
+        let k = Wire.read_string r in
+        let v = Wire.read_string r in
+        (k, v))
+  in
+  let hs = Wire.read_hash_list r in
+  let n = Wire.read_varint r in
+  (tag, kvs, hs, n)
+
+let encode_shaped rng =
+  let buf = Wire.writer () in
+  Wire.write_byte buf (Char.chr (K.int rng 256));
+  Wire.write_list buf
+    (fun buf (k, v) -> Wire.write_string buf k; Wire.write_string buf v)
+    (List.init (K.int rng 5) (fun i -> (K.key_of i, K.value_of (K.key_of i))));
+  Wire.write_hash_list buf
+    (List.init (K.int rng 3) (fun i -> Spitz_crypto.Hash.of_string (K.key_of i)));
+  Wire.write_varint buf (K.int rng 1_000_000);
+  Wire.contents buf
+
+let slice_case ~tname read data ~before ~after =
+  let against expected =
+    let padded = before ^ data ^ after in
+    let sl =
+      Slice.sub (Slice.of_string padded)
+        ~pos:(String.length before) ~len:(String.length data)
+    in
+    let got =
+      match Wire.decode_slice tname read sl with
+      | v -> Ok v
+      | exception Wire.Malformed m -> Error m
+    in
+    if got = expected then
+      (match got with Ok _ -> Benign | Error _ -> Rejected_decode)
+    else
+      Accepted
+        (Printf.sprintf "slice decode at offset %d diverged from string decode: %s"
+           (String.length before) (hex data))
+  in
+  match
+    match Wire.decode tname read data with
+    | v -> Ok v
+    | exception Wire.Malformed m -> Error m
+  with
+  | expected -> against expected
+  | exception e -> Foreign ("string decode raised " ^ Printexc.to_string e)
+
+let fuzz_slices ?(cases = 400) ~seed () =
+  let rng = K.rng (seed lxor 0x51CE) in
+  let r = ref empty_report in
+  let record tname outcome =
+    let acc = !r in
+    r :=
+      (match outcome with
+       | Rejected_decode -> { acc with total = acc.total + 1; rejected_decode = acc.rejected_decode + 1 }
+       | Rejected_verify -> { acc with total = acc.total + 1; rejected_verify = acc.rejected_verify + 1 }
+       | Benign -> { acc with total = acc.total + 1; benign = acc.benign + 1 }
+       | Accepted d -> { acc with total = acc.total + 1; accepted = (tname, d) :: acc.accepted }
+       | Foreign d -> { acc with total = acc.total + 1; foreign = (tname, d) :: acc.foreign })
+  in
+  let rand_pad rng = String.init (K.int rng 9) (fun _ -> Char.chr (K.int rng 256)) in
+  (* directed edges first, so they run even with a tiny budget *)
+  record "slice/empty" (slice_case ~tname:"slice" read_shaped "" ~before:"xx" ~after:"yy");
+  record "slice/at_end"
+    (slice_case ~tname:"slice" read_shaped (encode_shaped rng) ~before:"header" ~after:"");
+  (* the final varint's continuation bytes stop at the window edge; the
+     byte just beyond would terminate it into a clean decode *)
+  let torn =
+    let buf = Wire.writer () in
+    Wire.write_byte buf 'T';
+    Wire.write_varint buf 0;     (* empty kv list *)
+    Wire.write_varint buf 0;     (* empty hash list *)
+    Wire.contents buf ^ "\x80\x80"
+  in
+  record "slice/torn_varint"
+    (slice_case ~tname:"slice" read_shaped torn ~before:"" ~after:"\x01");
+  for _ = 1 to cases do
+    let honest = encode_shaped rng in
+    let data = if K.int rng 2 = 0 then honest else Mutate.random rng honest in
+    record "slice/equiv"
+      (slice_case ~tname:"slice" read_shaped data ~before:(rand_pad rng) ~after:(rand_pad rng))
+  done;
+  !r
+
+let fuzz_all ?mutants_per_target ?wal_cases ?frame_cases ?slice_cases ~seed () =
   merge
-    (merge (fuzz_proofs ?mutants_per_target ~seed ()) (fuzz_wal ?cases:wal_cases ~seed ()))
-    (fuzz_frames ?cases:frame_cases ~seed ())
+    (merge
+       (merge (fuzz_proofs ?mutants_per_target ~seed ()) (fuzz_wal ?cases:wal_cases ~seed ()))
+       (fuzz_frames ?cases:frame_cases ~seed ()))
+    (fuzz_slices ?cases:slice_cases ~seed ())
 
 let run_deadline ~deadline ~seed progress =
   let stop = Unix.gettimeofday () +. deadline in

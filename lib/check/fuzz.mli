@@ -80,8 +80,18 @@ val fuzz_frames : ?cases:int -> seed:int -> unit -> report
     response (benign). A hung server, a malformed response, or a failed
     periodic health probe is a foreign outcome. *)
 
+val fuzz_slices : ?cases:int -> seed:int -> unit -> report
+(** Slice-decode equivalence: decoding bytes through a {!Spitz_storage.Slice}
+    window must equal decoding the same bytes as a standalone string — same
+    value or same [Malformed] — on honest encodings, random mutants, and
+    windows embedded at random offsets in larger buffers, plus directed
+    edges (empty slice, window ending at the buffer's end, a varint torn
+    exactly at the slice edge with decodable bytes beyond it). [cases]
+    (default 400) random cases on top of the directed ones. *)
+
 val fuzz_all :
-  ?mutants_per_target:int -> ?wal_cases:int -> ?frame_cases:int -> seed:int -> unit ->
+  ?mutants_per_target:int -> ?wal_cases:int -> ?frame_cases:int -> ?slice_cases:int ->
+  seed:int -> unit ->
   report
 
 val run_deadline :

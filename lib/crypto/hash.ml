@@ -6,6 +6,8 @@ let of_string s = Sha256.digest_string s
 
 let of_strings parts = Sha256.digest_strings parts
 
+let of_bytes_sub b ~pos ~len = Sha256.digest_bytes b pos len
+
 let null = String.make size '\000'
 
 let is_null t = String.equal t null
@@ -37,6 +39,14 @@ let short_hex t = String.sub (to_hex t) 0 8
    disjoint domains, otherwise an interior node could be replayed as a leaf
    (second-preimage attack on Merkle trees, RFC 6962 section 2.1). *)
 let leaf data = Sha256.digest_strings [ "\x00"; data ]
+
+(* [leaf] over a byte range: same domain prefix, same digest, no
+   intermediate string for the leaf bytes. *)
+let leaf_bytes b ~pos ~len =
+  let ctx = Sha256.init () in
+  Sha256.feed_string ctx "\x00";
+  Sha256.feed_bytes ctx b pos len;
+  Sha256.finalize ctx
 
 let node left right = Sha256.digest_strings [ "\x01"; left; right ]
 

@@ -13,6 +13,11 @@ val of_string : string -> t
 val of_strings : string list -> t
 (** Hash the concatenation of the parts without materializing it. *)
 
+val of_bytes_sub : Bytes.t -> pos:int -> len:int -> t
+(** Hash [b.[pos .. pos+len-1]] in place — node identity computed straight
+    from an encoder's buffer, with no intermediate string. The caller must
+    not mutate the range during the call. *)
+
 val null : t
 (** The all-zero digest, used as a sentinel (e.g. previous-hash of a genesis
     block). *)
@@ -37,6 +42,10 @@ val short_hex : t -> string
 
 val leaf : string -> t
 (** Domain-separated leaf hash (RFC 6962-style [0x00] prefix). *)
+
+val leaf_bytes : Bytes.t -> pos:int -> len:int -> t
+(** {!leaf} over a byte range, copy-free: identical digest to
+    [leaf (Bytes.sub_string b pos len)]. *)
 
 val node : t -> t -> t
 (** Domain-separated interior-node hash ([0x01] prefix). *)

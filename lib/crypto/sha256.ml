@@ -112,6 +112,11 @@ let feed_bytes ctx b off len =
 
 let feed_string ctx s = feed_bytes ctx (Bytes.unsafe_of_string s) 0 (String.length s)
 
+let feed_sub ctx s off len =
+  if off < 0 || len < 0 || off > String.length s - len then
+    invalid_arg "Sha256.feed_sub: out of bounds";
+  feed_bytes ctx (Bytes.unsafe_of_string s) off len
+
 let finalize ctx =
   let bit_len = ctx.total_len * 8 in
   (* Append 0x80, pad with zeros to 56 mod 64, then 8-byte big-endian length. *)
@@ -137,4 +142,20 @@ let digest_string s =
 let digest_strings parts =
   let ctx = init () in
   List.iter (feed_string ctx) parts;
+  finalize ctx
+
+(* One-shot digest of a byte range — the node-identity path hashes encoder
+   buffers in place through this, with no intermediate string. *)
+let digest_bytes b off len =
+  if off < 0 || len < 0 || off > Bytes.length b - len then
+    invalid_arg "Sha256.digest_bytes: out of bounds";
+  let ctx = init () in
+  feed_bytes ctx b off len;
+  finalize ctx
+
+let digest_sub s off len =
+  if off < 0 || len < 0 || off > String.length s - len then
+    invalid_arg "Sha256.digest_sub: out of bounds";
+  let ctx = init () in
+  feed_bytes ctx (Bytes.unsafe_of_string s) off len;
   finalize ctx

@@ -16,6 +16,10 @@ val feed_string : ctx -> string -> unit
 val feed_bytes : ctx -> Bytes.t -> int -> int -> unit
 (** [feed_bytes ctx b off len] absorbs the slice [b.[off .. off+len-1]]. *)
 
+val feed_sub : ctx -> string -> int -> int -> unit
+(** [feed_sub ctx s off len] absorbs [s.[off .. off+len-1]] without copying
+    it out first. Raises [Invalid_argument] when the range escapes [s]. *)
+
 val finalize : ctx -> string
 (** Produce the 32-byte raw digest. The context must not be reused. *)
 
@@ -25,3 +29,11 @@ val digest_string : string -> string
 val digest_strings : string list -> string
 (** One-shot digest of the concatenation of the parts, without building the
     concatenated string. *)
+
+val digest_bytes : Bytes.t -> int -> int -> string
+(** One-shot digest of [b.[off .. off+len-1]] with no intermediate string —
+    node identity streams out of encoder buffers through this. Raises
+    [Invalid_argument] when the range escapes [b]. *)
+
+val digest_sub : string -> int -> int -> string
+(** One-shot digest of a string range, equally copy-free. *)

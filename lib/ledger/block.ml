@@ -59,16 +59,28 @@ let entry_bytes e =
    hashing it parallelizes. *)
 let parallel_threshold = 16
 
+(* Leaf hashes are streamed straight out of the encoder's buffer
+   ([Wire.leaf_digest]); the serial path reuses one scratch writer for the
+   whole batch, while the parallel path allocates per entry because the
+   closures run concurrently across pool domains. *)
+let entry_leaf_into buf e =
+  Wire.clear buf;
+  encode_entry buf e;
+  Wire.leaf_digest buf
+
 let entries_merkle ?pool entries =
   match pool with
   | Some pool
     when Spitz_exec.Pool.size pool > 1 && List.length entries >= parallel_threshold ->
     (* parallel stage: leaf hashes, in entry order; serial stage: assembly *)
     Spitz_adt.Merkle.of_leaf_hashes
-      (Spitz_exec.Pool.map_list pool (fun e -> Hash.leaf (entry_bytes e)) entries)
+      (Spitz_exec.Pool.map_list pool
+         (fun e -> entry_leaf_into (Wire.writer ~size:64 ()) e)
+         entries)
   | _ ->
     let tree = Spitz_adt.Merkle.create () in
-    List.iter (fun e -> ignore (Spitz_adt.Merkle.add_leaf tree (entry_bytes e))) entries;
+    let buf = Wire.writer ~size:64 () in
+    List.iter (fun e -> ignore (Spitz_adt.Merkle.add_leaf_hash tree (entry_leaf_into buf e))) entries;
     tree
 
 let encode_header buf h =
@@ -93,13 +105,19 @@ let header_bytes h =
   encode_header buf h;
   Wire.contents buf
 
-let hash_header h = Hash.of_string (header_bytes h)
+let hash_header h =
+  let buf = Wire.writer ~size:128 () in
+  encode_header buf h;
+  Wire.digest buf
+
+let encode_into buf t =
+  encode_header buf t.header;
+  Wire.write_list buf encode_entry t.entries;
+  Wire.write_list buf Wire.write_string t.statements
 
 let encode t =
   let buf = Wire.writer () in
-  encode_header buf t.header;
-  Wire.write_list buf encode_entry t.entries;
-  Wire.write_list buf Wire.write_string t.statements;
+  encode_into buf t;
   Wire.contents buf
 
 let decode data =

@@ -45,6 +45,11 @@ val create_rooted :
 val entry_bytes : entry -> string
 (** Canonical serialization of one entry (the Merkle leaf data). *)
 
+val entry_leaf_into : Spitz_storage.Wire.writer -> entry -> Hash.t
+(** The entry's Merkle leaf hash, streamed through [buf] (cleared first) with
+    no intermediate string — equals [Hash.leaf (entry_bytes e)]. Serial
+    paths reuse one scratch writer across a whole batch. *)
+
 val encode_entry : Spitz_storage.Wire.writer -> entry -> unit
 val decode_entry : Spitz_storage.Wire.reader -> entry
 val encode_header : Spitz_storage.Wire.writer -> header -> unit
@@ -58,6 +63,11 @@ val entries_merkle : ?pool:Spitz_exec.Pool.t -> entry list -> Spitz_adt.Merkle.t
 val header_bytes : header -> string
 val hash_header : header -> Hash.t
 (** The block id: hash of the canonical header bytes. *)
+
+val encode_into : Spitz_storage.Wire.writer -> t -> unit
+(** Append the canonical block bytes to a writer — the zero-copy spine for
+    storing blocks ({!Spitz_storage.Object_store.put_writer}) and framing
+    them into the WAL without a [contents] string in between. *)
 
 val encode : t -> string
 val decode : string -> t

@@ -60,10 +60,14 @@ let append t (block : Block.t) =
     Array.blit t.slots 0 bigger 0 t.length;
     t.slots <- bigger
   end;
-  let body = Object_store.put t.store (Block.encode block) in
+  let buf = Wire.writer ~size:512 () in
+  Block.encode_into buf block;
+  let body = Object_store.put_writer t.store buf in
   t.slots.(t.length) <- { hdr = block.header; body };
   t.length <- t.length + 1;
-  ignore (Spitz_adt.Merkle.add_leaf t.tree (Block.header_bytes block.header))
+  Wire.clear buf;
+  Block.encode_header buf block.header;
+  ignore (Spitz_adt.Merkle.add_leaf_hash t.tree (Wire.leaf_digest buf))
 
 let header t height =
   if height < 0 || height >= t.length then invalid_arg "Journal.header: out of range";
@@ -84,9 +88,11 @@ let prove_inclusion_at t height ~size =
   Spitz_adt.Merkle.prove_inclusion_at t.tree height ~size
 
 let verify_inclusion ~digest ~height ~(header : Block.header) proof =
+  let buf = Wire.writer ~size:128 () in
+  Block.encode_header buf header;
   Spitz_adt.Merkle.verify_inclusion
     ~root:digest.root ~size:digest.size ~index:height
-    ~leaf:(Hash.leaf (Block.header_bytes header)) proof
+    ~leaf:(Wire.leaf_digest buf) proof
 
 let prove_consistency t ~old_size = Spitz_adt.Merkle.prove_consistency t.tree ~old_size
 

@@ -505,7 +505,7 @@ module Make (Index : Siri.S) = struct
       ~root:receipt.wr_header.Block.entries_root
       ~size:receipt.wr_header.Block.entry_count
       ~index:receipt.wr_entry_index
-      ~leaf:(Hash.leaf (Block.entry_bytes receipt.wr_entry))
+      ~leaf:(Block.entry_leaf_into (Wire.writer ~size:64 ()) receipt.wr_entry)
       receipt.wr_entry_proof
 
   let verify_write ~digest receipt =
@@ -541,7 +541,8 @@ module Make (Index : Siri.S) = struct
     let n = List.length block.entries in
     let tree = Block.entries_merkle block.entries in
     let proof = Merkle.prove_multi tree (List.init n (fun i -> i)) in
-    let leaves = List.mapi (fun i e -> (i, Hash.leaf (Block.entry_bytes e))) block.entries in
+    let scratch = Wire.writer ~size:64 () in
+    let leaves = List.mapi (fun i e -> (i, Block.entry_leaf_into scratch e)) block.entries in
     block.header.Block.entry_count = n
     && Merkle.verify_multi ~root:block.header.Block.entries_root ~size:n ~leaves proof
     && Journal.verify_inclusion ~digest:(Journal.digest t.journal) ~height ~header:block.header

@@ -48,6 +48,11 @@ type request =
   | Receipts of int
       (** write receipts of the block at this height *)
 
+val write_request : Spitz_storage.Wire.writer -> request -> unit
+(** Append the request's wire bytes to a writer — clients reuse one
+    per-session writer and frame straight from its buffer, skipping the
+    per-message [encode_request] string. *)
+
 val encode_request : request -> string
 val decode_request : string -> request
 (** Raises {!Spitz_storage.Wire.Malformed} on bad input. *)
@@ -72,6 +77,10 @@ type response =
   | AnchorResp of anchor
   | ReceiptList of string list                     (** encoded write receipts *)
   | Error of string
+
+val write_response : Spitz_storage.Wire.writer -> response -> unit
+(** Append the response's wire bytes to a writer — the server reuses one
+    per-connection writer and frames replies straight from its buffer. *)
 
 val encode_response : response -> string
 val decode_response : string -> response

@@ -26,6 +26,43 @@ let write fd payload =
   let frame = encode payload in
   write_all fd (Bytes.unsafe_of_string frame) 0 (String.length frame)
 
+(* Per-connection reusable buffers: the 8-byte header scratch [read] fills
+   for every message, and a growable frame buffer [write_slices] assembles
+   outgoing frames in. One connection is served by one thread, so neither
+   needs a lock; two connections never share a scratch. *)
+type scratch = { head : Bytes.t; mutable buf : Bytes.t }
+
+let scratch () = { head = Bytes.create header_len; buf = Bytes.create 4096 }
+
+let ensure s len =
+  if Bytes.length s.buf < len then begin
+    let cap = ref (Bytes.length s.buf) in
+    while !cap < len do cap := !cap * 2 done;
+    s.buf <- Bytes.create !cap
+  end
+
+(* Send one frame whose payload is the concatenation of [slices], without
+   ever materializing that payload as a string: the CRC is folded across the
+   slices in place, then header and payload are gathered into the reusable
+   scratch and sent with a {e single} [write] — one syscall, and under
+   TCP_NODELAY one packet, exactly like {!write}. *)
+let write_slices ?scratch:sc fd slices =
+  let len = List.fold_left (fun acc sl -> acc + Slice.length sl) 0 slices in
+  if len > max_payload then invalid_arg "Frame.write_slices: payload too large";
+  let s = match sc with Some s -> s | None -> scratch () in
+  ensure s (header_len + len);
+  let b = s.buf in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  let crc =
+    List.fold_left
+      (fun c sl -> Crc32.update_bytes c (Slice.unsafe_base sl) (Slice.unsafe_off sl) (Slice.length sl))
+      0l slices
+  in
+  Bytes.set_int32_le b 4 crc;
+  let pos = ref header_len in
+  List.iter (fun sl -> Slice.blit sl b !pos; pos := !pos + Slice.length sl) slices;
+  write_all fd b 0 (header_len + len)
+
 (* Fill [buf] completely. [at_boundary] tells EOF apart: before any header
    byte it is a clean close ([Closed]); anywhere else the frame is torn
    ([End_of_file]). *)
@@ -42,8 +79,10 @@ let read_exact fd buf ~at_boundary =
     else off := !off + n
   done
 
-let read fd =
-  let head = Bytes.create header_len in
+let read ?scratch fd =
+  let head =
+    match scratch with Some s -> s.head | None -> Bytes.create header_len
+  in
   read_exact fd head ~at_boundary:true;
   let len = Int32.to_int (Bytes.get_int32_le head 0) land 0xFFFFFFFF in
   if len > max_payload then

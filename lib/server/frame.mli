@@ -19,13 +19,29 @@ val max_payload : int
 exception Closed
 (** The peer closed the connection cleanly, at a frame boundary. *)
 
+type scratch
+(** Per-connection reusable buffers: the header scratch {!read} fills on
+    every message and the frame buffer {!write_slices} assembles outgoing
+    frames in. Not thread-safe — one scratch per connection-serving thread. *)
+
+val scratch : unit -> scratch
+
 val write : Unix.file_descr -> string -> unit
 (** Send one frame (header + payload), handling partial writes. Raises
     [Invalid_argument] if the payload exceeds {!max_payload}; propagates
     [Unix.Unix_error] on a broken connection. *)
 
-val read : Unix.file_descr -> string
-(** Receive one frame's payload.
+val write_slices : ?scratch:scratch -> Unix.file_descr -> Spitz_storage.Slice.t list -> unit
+(** Gather-write: send one frame whose payload is the concatenation of the
+    slices, never materializing it as a string — the CRC streams across the
+    slices in place and header plus payload leave in a {e single} [write]
+    (one syscall, one packet under TCP_NODELAY, the same on-wire bytes as
+    {!write}). With [?scratch] the assembly buffer is reused across calls. *)
+
+val read : ?scratch:scratch -> Unix.file_descr -> string
+(** Receive one frame's payload. With [?scratch] the 8-byte header is read
+    into the connection's reusable scratch instead of a fresh allocation
+    per message.
 
     Raises {!Closed} on clean EOF at a frame boundary, [End_of_file] when
     the connection dies mid-frame (a torn frame), and

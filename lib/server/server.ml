@@ -176,8 +176,12 @@ let unregister_conn t id =
 
 let handle t fd =
   let continue = ref true in
+  (* per-connection reusable buffers: frame header/assembly scratch and the
+     response writer — one thread serves this connection, so no locking *)
+  let scratch = Frame.scratch () in
+  let out = Wire.writer ~size:1024 () in
   while !continue do
-    match Frame.read fd with
+    match Frame.read ~scratch fd with
     | exception Frame.Closed -> continue := false
     | exception End_of_file ->
       (* torn frame: the peer died mid-frame *)
@@ -199,9 +203,12 @@ let handle t fd =
           Atomic.incr t.c_malformed;
           Ipc.Error msg
       in
-      let out = Ipc.encode_response response in
-      ignore (Atomic.fetch_and_add t.c_bytes_out (String.length out));
-      match Frame.write fd out with
+      (* encode into the reused writer and frame straight from its buffer:
+         no response string, no header+payload concatenation *)
+      Wire.clear out;
+      Ipc.write_response out response;
+      ignore (Atomic.fetch_and_add t.c_bytes_out (Wire.length out));
+      match Frame.write_slices ~scratch fd [ Wire.view out ] with
       | () -> ()
       | exception (Unix.Unix_error _ | Invalid_argument _) -> continue := false)
   done

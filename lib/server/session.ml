@@ -12,6 +12,9 @@ type t = {
   verifier : Db.V.t;
   nonce : string;
   mutable seq : int;
+  (* reusable per-session buffers; sessions are single-threaded *)
+  scratch : Frame.scratch;
+  out : Spitz_storage.Wire.writer;
 }
 
 let session_counter = Atomic.make 0
@@ -27,6 +30,8 @@ let connect ?(retries = 3) ~port () =
         (Atomic.fetch_and_add session_counter 1)
         (int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF);
     seq = 0;
+    scratch = Frame.scratch ();
+    out = Spitz_storage.Wire.writer ~size:512 ();
   }
 
 let disconnect t =
@@ -57,12 +62,16 @@ let ensure_connected t =
    server, or after it was served but before the response arrived — is
    safely retried by reconnecting and resending. *)
 let rpc t req =
-  let payload = Ipc.encode_request req in
+  (* encode once into the session's reused writer; the bytes stay valid
+     across retries because nothing else touches the writer until [rpc]
+     returns *)
+  Spitz_storage.Wire.clear t.out;
+  Ipc.write_request t.out req;
   let rec go attempt =
     match
       let fd = ensure_connected t in
-      Frame.write fd payload;
-      Ipc.decode_response (Frame.read fd)
+      Frame.write_slices ~scratch:t.scratch fd [ Spitz_storage.Wire.view t.out ];
+      Ipc.decode_response (Frame.read ~scratch:t.scratch fd)
     with
     | resp -> resp
     | exception ((Frame.Closed | End_of_file | Unix.Unix_error _) as e) ->

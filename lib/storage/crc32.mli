@@ -11,3 +11,17 @@ val update : int32 -> string -> int32
 (** Fold more bytes into a running CRC, so a frame's header and payload can
     be checked without concatenation: [update (update 0l header) payload =
     digest (header ^ payload)]. *)
+
+val update_sub : int32 -> string -> int -> int -> int32
+(** [update_sub crc s off len] folds [s.[off .. off+len-1]] into [crc]
+    without copying the range out — the WAL's replay path checks frame
+    headers through this instead of a per-record [String.sub]. Raises
+    [Invalid_argument] when the range escapes [s]. *)
+
+val update_bytes : int32 -> Bytes.t -> int -> int -> int32
+(** Same over a byte-buffer range; the append path checksums header scratch
+    and batch buffers in place. The caller must not mutate the range during
+    the call. *)
+
+val digest_sub : string -> int -> int -> int32
+(** [digest_sub s off len = update_sub 0l s off len]. *)

@@ -120,6 +120,36 @@ let put t data =
   if fresh then (match t.observer with None -> () | Some f -> f h data);
   h
 
+(* Store an encoder's output without materializing it first: the content
+   address is hashed straight from the writer's buffer, and the bytes are
+   copied out into an owned string only when the object turns out to be new —
+   a dedup hit (the common case for shared subtree nodes) costs no copy at
+   all. The writer is not consumed; the caller may [clear] and reuse it. *)
+let put_writer t w =
+  let len = Slice.Writer.length w in
+  let h = Hash.of_bytes_sub (Slice.Writer.unsafe_bytes w) ~pos:0 ~len in
+  let s = shard_of t h in
+  let fresh_data =
+    with_shard s (fun () ->
+        s.sc.puts <- s.sc.puts + 1;
+        s.sc.logical_bytes <- s.sc.logical_bytes + len;
+        match Hash.Table.find_opt s.refcounts h with
+        | Some n ->
+          s.sc.dedup_hits <- s.sc.dedup_hits + 1;
+          Hash.Table.replace s.refcounts h (n + 1);
+          None
+        | None ->
+          let data = Slice.Writer.contents w in
+          Hash.Table.replace s.objects h data;
+          Hash.Table.replace s.refcounts h 1;
+          s.sc.physical_bytes <- s.sc.physical_bytes + len;
+          Some data)
+  in
+  (match fresh_data with
+   | None -> ()
+   | Some data -> (match t.observer with None -> () | Some f -> f h data));
+  h
+
 let get t h =
   let s = shard_of t h in
   with_shard s (fun () ->

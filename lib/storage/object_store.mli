@@ -52,6 +52,12 @@ val put : t -> string -> Hash.t
 (** Store one object (no chunking); returns its content address. Idempotent;
     repeated puts bump a refcount. *)
 
+val put_writer : t -> Slice.Writer.w -> Hash.t
+(** {!put} of a writer's accumulated bytes, zero-copy on the hot half: the
+    content address is hashed straight from the writer's buffer, and the
+    bytes are materialized into an owned string only when the object is new
+    — a dedup hit costs no copy. The writer is untouched and reusable. *)
+
 val get : t -> Hash.t -> string option
 val get_exn : t -> Hash.t -> string
 

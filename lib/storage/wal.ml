@@ -53,8 +53,8 @@ type t = {
                                       re-check [durable_seq] *)
   idle : Condition.t;              (* broadcast when a flush ends; drain
                                       waiters re-check [flushing] *)
-  mutable active : Buffer.t;       (* frames of the batch accepting submits *)
-  mutable standby : Buffer.t;      (* double buffer: swapped in at flush *)
+  mutable active : Slice.Writer.w; (* frames of the batch accepting submits *)
+  mutable standby : Slice.Writer.w; (* double buffer: swapped in at flush *)
   mutable frame_ends : int list;   (* record end offsets in [active], newest first *)
   mutable batch : int;             (* sequence number of the active batch *)
   mutable durable_seq : int;       (* highest batch sequence known durable *)
@@ -179,8 +179,8 @@ let open_log ?(sync = Always) dir =
     m = Mutex.create ();
     flushed = Condition.create ();
     idle = Condition.create ();
-    active = Buffer.create 4096;
-    standby = Buffer.create 4096;
+    active = Slice.Writer.create ~size:4096 ();
+    standby = Slice.Writer.create ~size:4096 ();
     frame_ends = [];
     batch = 0;
     durable_seq = -1;
@@ -225,32 +225,32 @@ let fsync_unlocked t =
   t.n_fsyncs <- t.n_fsyncs + 1;
   t.pending <- 0
 
-let write_all fd s pos len =
+let write_all fd b pos len =
   let off = ref pos and left = ref len in
   while !left > 0 do
-    let n = Unix.write_substring fd s !off !left in
+    let n = Unix.write fd b !off !left in
     off := !off + n;
     left := !left - n
   done
 
 (* Frame one record into [buf] using the log's preallocated header scratch
-   (no per-record [Buffer] allocation on the hot path). Caller holds [m]. *)
+   (no per-record allocation on the hot path). The CRC covers the 4 length
+   bytes plus the payload, folded straight off the scratch — no 4-byte
+   substring. Caller holds [m]. *)
 let frame_into t buf record =
   let len = String.length record in
   set_le32 t.head 0 len;
-  let crc =
-    Crc32.update (Crc32.digest (Bytes.sub_string t.head 0 4)) record
-  in
-  set_le32 t.head 4 (Int32.to_int (Int32.logand crc 0xffffffffl) land 0xffffffff);
-  Buffer.add_subbytes buf t.head 0 header_len;
-  Buffer.add_string buf record
+  let crc = Crc32.update (Crc32.update_bytes 0l t.head 0 4) record in
+  set_le32 t.head 4 (Int32.to_int crc land 0xffffffff);
+  Slice.Writer.add_bytes buf t.head 0 header_len;
+  Slice.Writer.add_string buf record
 
-(* Write [data] (one frame, or a whole coalesced batch of frames whose
-   record boundaries are [ends]) with the crash-injection sites:
+(* Write the first [total] bytes of [data] (one frame, or a whole coalesced
+   batch of frames whose record boundaries are [ends]) straight from the
+   batch writer's buffer, with the crash-injection sites:
    ["wal.append.torn"] tears the write mid-frame, ["wal.flush.mid_batch"]
    tears it at a record boundary in the middle of a multi-record batch. *)
-let write_frames t ~ends data =
-  let total = String.length data in
+let write_frames t ~ends data total =
   if total > 0 then begin
     let nrecords = List.length ends in
     if Fault.armed "wal.flush.mid_batch" && nrecords > 1 then begin
@@ -332,7 +332,7 @@ let flush_locked ?(linger = true) t =
   let seq = t.batch in
   let buf = t.active in
   let ends = List.rev t.frame_ends in
-  let taken = Buffer.length buf in
+  let taken = Slice.Writer.length buf in
   (* swap the double buffer: new submissions land in the standby while the
      batch just taken is on its way to the disk *)
   t.active <- t.standby;
@@ -340,15 +340,17 @@ let flush_locked ?(linger = true) t =
   t.frame_ends <- [];
   t.batch <- seq + 1;
   Mutex.unlock t.m;
-  (* one [write] and one [fsync] for the whole batch *)
-  let data = Buffer.contents buf in
-  write_frames t ~ends data;
+  (* one [write] and one [fsync] for the whole batch, straight from the
+     batch buffer — no [Buffer.contents] copy of the coalesced frames. The
+     swapped-out buffer is not touched again until the *next* flush swaps
+     it back in, which cannot start while [flushing] is set. *)
+  write_frames t ~ends (Slice.Writer.unsafe_bytes buf) taken;
   let fsync_t0 = Unix.gettimeofday () in
   Unix.fsync t.fd;
   t.last_fsync_s <- Unix.gettimeofday () -. fsync_t0;
   t.n_fsyncs <- t.n_fsyncs + 1;
   t.last_batch_n <- List.length ends;
-  Buffer.clear buf;
+  Slice.Writer.clear buf;
   Mutex.lock t.m;
   t.pending_bytes <- t.pending_bytes - taken;
   t.durable_seq <- seq;
@@ -375,17 +377,19 @@ let submit t record =
       t.n_records <- t.n_records + 1;
       if buffered t then begin
         frame_into t t.active record;
-        t.frame_ends <- Buffer.length t.active :: t.frame_ends;
+        t.frame_ends <- Slice.Writer.length t.active :: t.frame_ends;
         t.pending_bytes <- t.pending_bytes + header_len + String.length record;
         t.batch
       end
       else begin
-        (* unbuffered policies write the frame now, fsync per policy *)
-        Buffer.clear t.standby;
+        (* unbuffered policies write the frame now (straight from the
+           standby scratch, which group commit never uses here), fsync per
+           policy *)
+        Slice.Writer.clear t.standby;
         frame_into t t.standby record;
-        let data = Buffer.contents t.standby in
-        Buffer.clear t.standby;
-        write_frames t ~ends:[ String.length data ] data;
+        let total = Slice.Writer.length t.standby in
+        write_frames t ~ends:[ total ] (Slice.Writer.unsafe_bytes t.standby) total;
+        Slice.Writer.clear t.standby;
         (match t.sync_policy with
          | Interval n ->
            t.pending <- t.pending + 1;
@@ -537,10 +541,7 @@ let replay_segment ?(repair = true) path =
                else begin
                  let payload = really_input_string ic len in
                  let actual =
-                   Int32.to_int
-                     (Int32.logand
-                        (Crc32.update (Crc32.digest (String.sub head 0 4)) payload)
-                        0xffffffffl)
+                   Int32.to_int (Crc32.update (Crc32.update_sub 0l head 0 4) payload)
                    land 0xffffffff
                  in
                  if actual <> crc then torn := true

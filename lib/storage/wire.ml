@@ -1,21 +1,36 @@
 (* Minimal length-prefixed binary encoding shared by every serialized node
    format (ADT nodes, ledger blocks, commits). Deterministic by construction,
-   which matters because node identity is the hash of these bytes. *)
+   which matters because node identity is the hash of these bytes.
+
+   Writers are [Slice.Writer]s, so the encoded bytes are consumable in
+   place: {!digest} and {!leaf_digest} hash straight out of the buffer, and
+   {!view} hands the bytes to the WAL or a network frame with no
+   [Buffer.contents] copy. Readers are cursors over a [Slice.t] window —
+   decoding a sub-slice of a larger buffer never copies the input first. *)
 
 open Spitz_crypto
 
-type writer = Buffer.t
+type writer = Slice.Writer.w
 
-let writer () = Buffer.create 256
+let writer ?size () = Slice.Writer.create ?size ()
 
-let contents = Buffer.contents
+let contents = Slice.Writer.contents
+let length = Slice.Writer.length
+let clear = Slice.Writer.clear
+let view = Slice.Writer.view
+
+(* Node identity straight from the encoder's buffer — no contents string. *)
+let digest w = Hash.of_bytes_sub (Slice.Writer.unsafe_bytes w) ~pos:0 ~len:(Slice.Writer.length w)
+
+let leaf_digest w =
+  Hash.leaf_bytes (Slice.Writer.unsafe_bytes w) ~pos:0 ~len:(Slice.Writer.length w)
 
 let write_varint buf n =
   if n < 0 then invalid_arg "Wire.write_varint: negative";
   let rec go n =
-    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    if n < 0x80 then Slice.Writer.add_char buf (Char.chr n)
     else begin
-      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      Slice.Writer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
       go (n lsr 7)
     end
   in
@@ -23,9 +38,11 @@ let write_varint buf n =
 
 let write_string buf s =
   write_varint buf (String.length s);
-  Buffer.add_string buf s
+  Slice.Writer.add_string buf s
 
-let write_hash buf h = Buffer.add_string buf (Hash.to_raw h)
+let write_hash buf h = Slice.Writer.add_string buf (Hash.to_raw h)
+
+let write_byte buf c = Slice.Writer.add_char buf c
 
 let write_list buf write_item items =
   write_varint buf (List.length items);
@@ -33,19 +50,29 @@ let write_list buf write_item items =
 
 let write_hash_list buf hashes = write_list buf (fun buf h -> write_hash buf h) hashes
 
-type reader = { data : string; mutable pos : int }
+(* The cursor is absolute over the slice's base buffer: [pos] runs from the
+   slice's offset to [limit]. Reads can never escape the window — a length
+   running past [limit] is malformed even when the base buffer continues. *)
+type reader = { base : Bytes.t; mutable pos : int; limit : int }
 
 exception Malformed of string
 
-let reader data = { data; pos = 0 }
+let reader data =
+  { base = Bytes.unsafe_of_string data; pos = 0; limit = String.length data }
 
-let at_end r = r.pos >= String.length r.data
+let reader_of_slice s =
+  let off = Slice.unsafe_off s in
+  { base = Slice.unsafe_base s; pos = off; limit = off + Slice.length s }
+
+let at_end r = r.pos >= r.limit
+
+let remaining r = r.limit - r.pos
 
 let read_varint r =
   let rec go shift acc =
     if shift > 62 then raise (Malformed "varint: overflow");
-    if r.pos >= String.length r.data then raise (Malformed "varint: truncated");
-    let b = Char.code r.data.[r.pos] in
+    if r.pos >= r.limit then raise (Malformed "varint: truncated");
+    let b = Char.code (Bytes.unsafe_get r.base r.pos) in
     r.pos <- r.pos + 1;
     let acc = acc lor ((b land 0x7f) lsl shift) in
     if b land 0x80 <> 0 then go (shift + 7) acc else acc
@@ -56,14 +83,29 @@ let read_varint r =
 
 let read_string r =
   let len = read_varint r in
-  if len < 0 || len > String.length r.data - r.pos then raise (Malformed "string: truncated");
-  let s = String.sub r.data r.pos len in
+  if len < 0 || len > r.limit - r.pos then raise (Malformed "string: truncated");
+  let s = Bytes.sub_string r.base r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+(* Length-prefixed payload as a sub-slice of the input — no copy; the slice
+   shares the reader's (immutable or caller-owned) base. *)
+let read_string_slice r =
+  let len = read_varint r in
+  if len < 0 || len > r.limit - r.pos then raise (Malformed "string: truncated");
+  let s = Slice.of_bytes ~pos:r.pos ~len r.base in
+  r.pos <- r.pos + len;
+  s
+
+let read_raw r len =
+  if len < 0 || len > r.limit - r.pos then raise (Malformed "raw: truncated");
+  let s = Slice.of_bytes ~pos:r.pos ~len r.base in
   r.pos <- r.pos + len;
   s
 
 let read_hash r =
-  if r.pos + Hash.size > String.length r.data then raise (Malformed "hash: truncated");
-  let s = String.sub r.data r.pos Hash.size in
+  if r.pos + Hash.size > r.limit then raise (Malformed "hash: truncated");
+  let s = Bytes.sub_string r.base r.pos Hash.size in
   r.pos <- r.pos + Hash.size;
   Hash.of_raw s
 
@@ -72,27 +114,24 @@ let read_list r read_item =
   (* Every well-formed element occupies at least one byte, so a claimed
      length beyond the remaining input is malformed — reject it before
      allocating anything proportional to the attacker-supplied count. *)
-  if n > String.length r.data - r.pos then
+  if n > r.limit - r.pos then
     raise (Malformed (Printf.sprintf "list: %d elements exceed %d remaining bytes"
-                        n (String.length r.data - r.pos)));
+                        n (r.limit - r.pos)));
   List.init n (fun _ -> read_item r)
 
 let read_hash_list r = read_list r read_hash
 
 let read_byte r =
-  if r.pos >= String.length r.data then raise (Malformed "byte: truncated");
-  let c = r.data.[r.pos] in
+  if r.pos >= r.limit then raise (Malformed "byte: truncated");
+  let c = Bytes.unsafe_get r.base r.pos in
   r.pos <- r.pos + 1;
   c
-
-let write_byte buf c = Buffer.add_char buf c
 
 (* Top-level decode of untrusted bytes: the whole input must be consumed, and
    whatever a structured reader trips over on adversarial input — a bad
    [String.sub], a [List.nth] past the end, a lookup miss — surfaces as
    [Malformed], never as a leaked internal exception. *)
-let decode name read data =
-  let r = reader data in
+let decode_reader name read r =
   match
     let v = read r in
     if not (at_end r) then raise (Malformed (name ^ ": trailing bytes"));
@@ -103,3 +142,7 @@ let decode name read data =
   | exception (End_of_file | Not_found) -> raise (Malformed (name ^ ": truncated"))
   | exception Invalid_argument msg -> raise (Malformed (name ^ ": " ^ msg))
   | exception Failure msg -> raise (Malformed (name ^ ": " ^ msg))
+
+let decode name read data = decode_reader name read (reader data)
+
+let decode_slice name read s = decode_reader name read (reader_of_slice s)

@@ -1,14 +1,37 @@
 (** Deterministic length-prefixed binary encoding for serialized nodes.
 
     Node identity throughout the system is the SHA-256 of these bytes, so the
-    encoding must be canonical: same logical content, same bytes. *)
+    encoding must be canonical: same logical content, same bytes.
+
+    Writers are {!Slice.Writer}s: the encoded bytes are consumable in place
+    ({!digest}, {!view}) without the [Buffer.contents] copy the old writer
+    paid per encode, and {!clear} lets hot paths (WAL framing, per-connection
+    response encoding, serial entry hashing) reuse one buffer across
+    operations. Readers are cursors over a {!Slice.t} window, so decoding a
+    sub-range of a larger buffer requires no up-front copy and can never
+    read past the window even when the underlying buffer continues. *)
 
 open Spitz_crypto
 
-type writer
+type writer = Slice.Writer.w
 
-val writer : unit -> writer
+val writer : ?size:int -> unit -> writer
 val contents : writer -> string
+val length : writer -> int
+
+val clear : writer -> unit
+(** Reset to empty retaining capacity — the scratch-reuse primitive. *)
+
+val view : writer -> Slice.t
+(** Zero-copy slice of the bytes written so far; valid until the writer is
+    next mutated. *)
+
+val digest : writer -> Hash.t
+(** SHA-256 of the bytes written so far, computed in place — equals
+    [Hash.of_string (contents w)] with no intermediate string. *)
+
+val leaf_digest : writer -> Hash.t
+(** [Hash.leaf] of the bytes written so far, equally copy-free. *)
 
 val write_varint : writer -> int -> unit
 val write_string : writer -> string -> unit
@@ -25,12 +48,24 @@ exception Malformed of string
 (** Raised by all [read_*] functions on truncated or invalid input. *)
 
 val reader : string -> reader
+val reader_of_slice : Slice.t -> reader
 val at_end : reader -> bool
+
+val remaining : reader -> int
+(** Bytes left before the end of the window. *)
 
 val read_varint : reader -> int
 val read_string : reader -> string
 val read_hash : reader -> Hash.t
 val read_byte : reader -> char
+
+val read_string_slice : reader -> Slice.t
+(** A length-prefixed payload as a sub-slice of the input — no copy. The
+    slice shares the reader's base buffer; retain it only as long as that
+    buffer is immutable from the reader's point of view. *)
+
+val read_raw : reader -> int -> Slice.t
+(** The next [len] bytes as a sub-slice, advancing the cursor. *)
 
 val read_list : reader -> (reader -> 'a) -> 'a list
 (** Rejects (with {!Malformed}) a claimed element count larger than the bytes
@@ -44,3 +79,7 @@ val decode : string -> (reader -> 'a) -> string -> 'a
     [End_of_file], [Invalid_argument], [Failure], [Not_found] — into
     {!Malformed}. Every top-level decoder of untrusted bytes goes through
     this. *)
+
+val decode_slice : string -> (reader -> 'a) -> Slice.t -> 'a
+(** {!decode} over a slice window: same contract, same full-consumption
+    check, without first copying the window out of its buffer. *)

@@ -110,6 +110,13 @@ let test_fuzz_frames_quick () =
   if not (Fuzz.ok r) then Alcotest.fail (Fuzz.pp_report r);
   Alcotest.(check bool) "cases ran" true (r.Fuzz.total >= 150)
 
+let test_fuzz_slices_quick () =
+  (* slice-window decoding must be indistinguishable from string decoding on
+     honest, mutated, and edge-torn inputs embedded at arbitrary offsets *)
+  let r = Fuzz.fuzz_slices ~cases:300 ~seed:0x51CE () in
+  if not (Fuzz.ok r) then Alcotest.fail (Fuzz.pp_report r);
+  Alcotest.(check bool) "cases ran" true (r.Fuzz.total >= 300)
+
 let test_decoders_reject_truncations () =
   (* every strict prefix of a canonical encoding must raise Malformed — the
      PR-3 hardening, now uniform across all top-level decoders *)
@@ -353,6 +360,7 @@ let suite =
       (differential "concurrent clients" Differ.check_concurrent_clients 6 0xCC1E);
     Alcotest.test_case "fuzz: 10k+ mutants, zero accepted, zero foreign" `Slow test_fuzz_budget;
     Alcotest.test_case "fuzz: live frame mutants rejected" `Quick test_fuzz_frames_quick;
+    Alcotest.test_case "fuzz: slice decode equals string decode" `Quick test_fuzz_slices_quick;
     Alcotest.test_case "fuzz: all truncations rejected" `Quick test_decoders_reject_truncations;
     Alcotest.test_case "wire: absurd list length rejected" `Quick test_wire_list_length_cap;
     Alcotest.test_case "regression: duplicate key in one batch" `Quick
